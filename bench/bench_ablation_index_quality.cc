@@ -1,0 +1,124 @@
+// Ablation for §6.2/§7: the performance of index-based joins depends on
+// the index's packing quality and disk layout. We build the Road/Hydro
+// indexes three ways — Hilbert bulk load (the paper's), STR bulk load, and
+// dynamic Guttman insertion ("ad-hoc index") — and run ST and PQ on each,
+// reporting page requests, the sequential share of ST's reads, and time.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/stream.h"
+
+namespace sj {
+namespace bench {
+namespace {
+
+enum class BuildKind { kHilbert, kSTR, kInsert };
+
+const char* ToString(BuildKind k) {
+  switch (k) {
+    case BuildKind::kHilbert:
+      return "hilbert";
+    case BuildKind::kSTR:
+      return "str";
+    case BuildKind::kInsert:
+      return "insert";
+  }
+  return "?";
+}
+
+Result<RTree> Build(BuildKind kind, Pager* tree_pager, Pager* scratch,
+                    const DatasetRef& input,
+                    const std::vector<RectF>& rects) {
+  RTreeParams params;
+  switch (kind) {
+    case BuildKind::kHilbert:
+      return RTree::BulkLoadHilbert(tree_pager, input.range, scratch, params,
+                                    24u << 20);
+    case BuildKind::kSTR:
+      return RTree::BulkLoadSTR(tree_pager, input.range, scratch, params,
+                                24u << 20);
+    case BuildKind::kInsert: {
+      SJ_ASSIGN_OR_RETURN(RTree tree, RTree::CreateEmpty(tree_pager, params));
+      for (const RectF& r : rects) SJ_RETURN_IF_ERROR(tree.Insert(r));
+      return tree;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+void Run(const BenchConfig& config) {
+  const MachineModel machine = MachineModel::Machine3();
+  // Dynamic insertion is O(n) page writes with quadratic splits — cap the
+  // dataset for the insert-built variant.
+  const std::string dataset =
+      config.datasets.size() == 6 ? "NY" : config.datasets.front();
+  const LoadedDataset& data = GetDataset(dataset, config.scale);
+
+  std::printf("== Index-quality ablation on %s (scale %.4g, %s) ==\n\n",
+              dataset.c_str(), config.scale, machine.name.c_str());
+  std::printf("%-8s %10s %8s | %10s %10s %8s | %10s %10s %8s\n", "build",
+              "nodes", "packing", "ST pages", "ST seq%", "ST s", "PQ pages",
+              "PQ seq%", "PQ s");
+  PrintHeaderRule(96);
+
+  for (BuildKind kind :
+       {BuildKind::kHilbert, BuildKind::kSTR, BuildKind::kInsert}) {
+    Workload w = MakeWorkload(data, machine, /*build_trees=*/false);
+    auto roads_tree_pager = MakeMemoryPager(w.disk.get(), "roads.tree");
+    auto hydro_tree_pager = MakeMemoryPager(w.disk.get(), "hydro.tree");
+    auto scratch = MakeMemoryPager(w.disk.get(), "scratch");
+    auto roads_tree = Build(kind, roads_tree_pager.get(), scratch.get(),
+                            w.roads, data.roads);
+    auto hydro_tree = Build(kind, hydro_tree_pager.get(), scratch.get(),
+                            w.hydro, data.hydro);
+    SJ_CHECK(roads_tree.ok() && hydro_tree.ok());
+    const double packing =
+        (roads_tree->AveragePacking() + hydro_tree->AveragePacking()) / 2;
+    const uint64_t nodes =
+        roads_tree->node_count() + hydro_tree->node_count();
+
+    auto run = [&](JoinAlgorithm algo, uint64_t* pages, double* seq_share,
+                   double* seconds) {
+      w.disk->ResetStats();
+      SpatialJoiner joiner(w.disk.get(), JoinOptions());
+      CountingSink sink;
+      auto stats = joiner.Join(JoinInput::FromRTree(&*roads_tree),
+                               JoinInput::FromRTree(&*hydro_tree), &sink,
+                               algo);
+      SJ_CHECK(stats.ok()) << stats.status().ToString();
+      *pages = stats->index_pages_read;
+      *seq_share = stats->disk.read_requests > 0
+                       ? 100.0 *
+                             static_cast<double>(
+                                 stats->disk.sequential_read_requests) /
+                             static_cast<double>(stats->disk.read_requests)
+                       : 0.0;
+      *seconds = stats->ObservedSeconds(machine);
+    };
+    uint64_t st_pages, pq_pages;
+    double st_seq, pq_seq, st_s, pq_s;
+    run(JoinAlgorithm::kST, &st_pages, &st_seq, &st_s);
+    run(JoinAlgorithm::kPQ, &pq_pages, &pq_seq, &pq_s);
+    std::printf("%-8s %10llu %7.0f%% | %10llu %9.0f%% %8.2f | %10llu %9.0f%% %8.2f\n",
+                ToString(kind), static_cast<unsigned long long>(nodes),
+                packing * 100,
+                static_cast<unsigned long long>(st_pages), st_seq, st_s,
+                static_cast<unsigned long long>(pq_pages), pq_seq, pq_s);
+  }
+  std::printf(
+      "\nExpected shape: bulk-loaded trees (hilbert/str) are smaller "
+      "(~90%% packing vs ~65%%\nfor inserts) and give ST a large "
+      "sequential share; the insert-built tree scatters\nsiblings, "
+      "degrading ST toward PQ's random behaviour (§6.2, footnote on Kim & "
+      "Cha).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sj
+
+int main(int argc, char** argv) {
+  sj::bench::Run(sj::bench::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

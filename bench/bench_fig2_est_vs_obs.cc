@@ -1,0 +1,69 @@
+// Reproduces Figure 2: estimated vs observed join costs for the two
+// index-based algorithms (PQ, ST) on all three machine models.
+//
+//   estimated I/O = pages_requested x (avg access + one-page transfer)
+//                   -- the classic "count page requests" methodology
+//   observed  I/O = the DiskModel's sequential/random-aware time
+//
+// The paper's finding: estimates show no clear winner, but observed times
+// favor ST on large inputs and fast machines, because the bulk-loaded
+// layout turns many of ST's reads into sequential runs while PQ's
+// sweep-order reads stay random.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace sj {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "== Figure 2: estimated vs observed join cost, seconds (scale %.4g) "
+      "==\n",
+      config.scale);
+  for (int m : config.machines) {
+    const MachineModel machine = MachineByIndex(m);
+    std::printf("\n-- %s --\n", machine.name.c_str());
+    std::printf("%-10s | %28s | %28s\n", "", "PQ (io+cpu=total)",
+                "ST (io+cpu=total)");
+    std::printf("%-10s | %13s %14s | %13s %14s\n", "Dataset", "estimated",
+                "observed", "estimated", "observed");
+    PrintHeaderRule(74);
+    for (const std::string& name : config.datasets) {
+      const LoadedDataset& data = GetDataset(name, config.scale);
+      Workload w = MakeWorkload(data, machine, /*build_trees=*/true);
+      auto pq = RunJoin(&w, JoinAlgorithm::kPQ, config.ScaledOptions());
+      SJ_CHECK(pq.ok());
+      auto st = RunJoin(&w, JoinAlgorithm::kST, config.ScaledOptions());
+      SJ_CHECK(st.ok());
+      auto fmt = [&](const JoinStats& s, bool estimated) {
+        char buf[64];
+        const double io =
+            estimated ? s.EstimatedIoSeconds(machine) : s.ObservedIoSeconds();
+        const double cpu = s.ScaledCpuSeconds(machine);
+        std::snprintf(buf, sizeof(buf), "%5.1f+%4.1f=%5.1f", io, cpu,
+                      io + cpu);
+        return std::string(buf);
+      };
+      std::printf("%-10s | %s %s | %s %s\n", name.c_str(),
+                  fmt(*pq, true).c_str(), fmt(*pq, false).c_str(),
+                  fmt(*st, true).c_str(), fmt(*st, false).c_str());
+    }
+  }
+  std::printf(
+      "\nReading the table: under 'estimated', PQ <= ST everywhere (PQ "
+      "requests fewer pages).\nUnder 'observed', ST's I/O shrinks (its "
+      "misses hit sequential leaf runs) while PQ's\nstays random, so ST "
+      "wins on the large sets — the paper's Figure 2(d)-(f) effect.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sj
+
+int main(int argc, char** argv) {
+  sj::bench::Run(sj::bench::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks for the substrate components: Hilbert keys, external
+// sort, R-tree bulk load and window queries, buffer pool hits, and the PQ
+// extraction rate. These are throughput sanity checks rather than paper
+// artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/tiger_gen.h"
+#include "geometry/hilbert.h"
+#include "io/buffer_pool.h"
+#include "io/stream.h"
+#include "join/sources.h"
+#include "rtree/rtree.h"
+#include "sort/external_sort.h"
+
+namespace sj {
+namespace {
+
+void BM_HilbertDistance(benchmark::State& state) {
+  const HilbertCurve curve(16);
+  uint64_t x = 12345, acc = 0;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    acc += curve.Distance(static_cast<uint32_t>(x) & 0xFFFF,
+                          static_cast<uint32_t>(x >> 16) & 0xFFFF);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_HilbertDistance);
+
+struct MicroEnv {
+  MicroEnv() : disk(MachineModel::Machine3()) {
+    TigerGenerator gen(777);
+    gen.GenerateRoads(100000, &roads);
+    input = MakeMemoryPager(&disk, "input");
+    StreamWriter<RectF> writer(input.get());
+    first = writer.first_page();
+    for (const RectF& r : roads) writer.Append(r);
+    count = writer.Finish().value();
+  }
+  DiskModel disk;
+  std::vector<RectF> roads;
+  std::unique_ptr<Pager> input;
+  PageId first;
+  uint64_t count;
+};
+
+MicroEnv* Env() {
+  static MicroEnv* env = new MicroEnv();
+  return env;
+}
+
+void BM_ExternalSort100k(benchmark::State& state) {
+  MicroEnv* env = Env();
+  for (auto _ : state) {
+    auto scratch = MakeMemoryPager(&env->disk, "scratch");
+    auto output = MakeMemoryPager(&env->disk, "output");
+    auto sorted = SortRectsByYLo({env->input.get(), env->first, env->count},
+                                 scratch.get(), output.get(), 4u << 20);
+    benchmark::DoNotOptimize(sorted.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env->count));
+}
+BENCHMARK(BM_ExternalSort100k)->Unit(benchmark::kMillisecond);
+
+void BM_RTreeBulkLoad100k(benchmark::State& state) {
+  MicroEnv* env = Env();
+  for (auto _ : state) {
+    auto tree_pager = MakeMemoryPager(&env->disk, "tree");
+    auto scratch = MakeMemoryPager(&env->disk, "scratch");
+    auto tree = RTree::BulkLoadHilbert(
+        tree_pager.get(), {env->input.get(), env->first, env->count},
+        scratch.get(), RTreeParams(), 24u << 20);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env->count));
+}
+BENCHMARK(BM_RTreeBulkLoad100k)->Unit(benchmark::kMillisecond);
+
+struct TreeEnv {
+  TreeEnv() {
+    MicroEnv* env = Env();
+    tree_pager = MakeMemoryPager(&env->disk, "tree");
+    auto scratch = MakeMemoryPager(&env->disk, "scratch");
+    auto built = RTree::BulkLoadHilbert(
+        tree_pager.get(), {env->input.get(), env->first, env->count},
+        scratch.get(), RTreeParams(), 24u << 20);
+    tree.emplace(std::move(built).value());
+  }
+  std::unique_ptr<Pager> tree_pager;
+  std::optional<RTree> tree;
+};
+
+TreeEnv* Tree() {
+  static TreeEnv* env = new TreeEnv();
+  return env;
+}
+
+void BM_RTreeWindowQuery(benchmark::State& state) {
+  TreeEnv* env = Tree();
+  const RectF bbox = env->tree->bounding_box();
+  const float w = (bbox.xhi - bbox.xlo) * 0.02f;
+  float x = bbox.xlo;
+  std::vector<RectF> out;
+  for (auto _ : state) {
+    x += w * 7;
+    if (x + w > bbox.xhi) x = bbox.xlo;
+    out.clear();
+    benchmark::DoNotOptimize(
+        env->tree->WindowQuery(RectF(x, bbox.ylo, x + w, bbox.yhi), &out));
+  }
+}
+BENCHMARK(BM_RTreeWindowQuery);
+
+void BM_PQSourceDrain(benchmark::State& state) {
+  TreeEnv* env = Tree();
+  for (auto _ : state) {
+    RTreePQSource source(&*env->tree);
+    uint64_t n = 0;
+    while (source.Next().has_value()) n++;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Env()->count));
+}
+BENCHMARK(BM_PQSourceDrain)->Unit(benchmark::kMillisecond);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  TreeEnv* env = Tree();
+  BufferPool pool(1024);
+  uint8_t buf[kPageSize];
+  PageId p = 0;
+  for (auto _ : state) {
+    p = (p + 1) % 64;  // Small working set: ~all hits.
+    benchmark::DoNotOptimize(pool.Get(env->tree_pager.get(), p, buf));
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+}  // namespace
+}  // namespace sj

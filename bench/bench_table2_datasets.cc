@@ -1,0 +1,52 @@
+// Reproduces Table 2 of the paper: per-dataset object counts, data sizes,
+// R-tree sizes, and join output sizes, for the TIGER-like generated ladder.
+// Paper values are for TIGER/Line 97 at scale 1.0; see EXPERIMENTS.md for
+// the scaled comparison.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace sj {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf("== Table 2: datasets (scale %.4g; paper: TIGER/Line 97) ==\n\n",
+              config.scale);
+  std::printf("%-10s %12s %10s %10s %12s %10s %10s %12s %10s\n", "Dataset",
+              "RoadObjs", "RoadMB", "RoadTreeMB", "HydroObjs", "HydroMB",
+              "HydroTrMB", "OutputObjs", "OutputMB");
+  PrintHeaderRule(104);
+  for (const std::string& name : config.datasets) {
+    const LoadedDataset& data = GetDataset(name, config.scale);
+    Workload w = MakeWorkload(data, MachineModel::Machine3(),
+                              /*build_trees=*/true);
+    auto stats = RunJoin(&w, JoinAlgorithm::kSSSJ, config.ScaledOptions());
+    SJ_CHECK(stats.ok()) << stats.status().ToString();
+    const double road_mb = data.roads.size() * sizeof(RectF) / 1048576.0;
+    const double hydro_mb = data.hydro.size() * sizeof(RectF) / 1048576.0;
+    const double road_tree_mb =
+        w.roads_tree->node_count() * kPageSize / 1048576.0;
+    const double hydro_tree_mb =
+        w.hydro_tree->node_count() * kPageSize / 1048576.0;
+    const double out_mb = stats->output_count * sizeof(IdPair) / 1048576.0;
+    std::printf("%-10s %12zu %10.1f %10.1f %12zu %10.1f %10.1f %12llu %10.1f\n",
+                name.c_str(), data.roads.size(), road_mb, road_tree_mb,
+                data.hydro.size(), hydro_mb, hydro_tree_mb,
+                static_cast<unsigned long long>(stats->output_count), out_mb);
+  }
+  std::printf(
+      "\nR-tree packing uses the paper's heuristic (75%% fill, <=20%% area "
+      "growth);\naverage leaf occupancy is ~90%%, so tree size ~= data size "
+      "* (page utilization).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sj
+
+int main(int argc, char** argv) {
+  sj::bench::Run(sj::bench::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

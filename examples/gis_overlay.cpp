@@ -1,0 +1,101 @@
+// GIS overlay: the full two-step spatial join of §1 — filter on MBRs with
+// the PQ join, then refine candidate pairs against the exact segment
+// geometry ("which roads actually cross water?").
+//
+//   ./examples/gis_overlay
+
+#include <cstdio>
+#include <vector>
+
+#include "core/spatial_join.h"
+#include "datagen/tiger_gen.h"
+#include "geometry/segment.h"
+#include "io/stream.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace sj;
+
+// Exact geometry for the example: every object is a line segment whose
+// MBR is what the join algorithms see. Roads lean axis-parallel; water
+// segments follow their MBR's diagonal.
+std::vector<Segment> SegmentsFromMbrs(const std::vector<RectF>& mbrs,
+                                      uint64_t seed) {
+  Random rng(seed);
+  std::vector<Segment> segments;
+  segments.reserve(mbrs.size());
+  for (const RectF& r : mbrs) {
+    if (rng.OneIn(0.5)) {
+      segments.emplace_back(r.xlo, r.ylo, r.xhi, r.yhi);  // Main diagonal.
+    } else {
+      segments.emplace_back(r.xlo, r.yhi, r.xhi, r.ylo);  // Anti-diagonal.
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+int main() {
+  DiskModel disk(MachineModel::Machine3());
+  TigerGenerator gen(/*seed=*/7);
+  std::vector<RectF> roads, hydro;
+  gen.GenerateRoads(150000, &roads);
+  gen.GenerateHydro(40000, &hydro);
+  const std::vector<Segment> road_geom = SegmentsFromMbrs(roads, 100);
+  const std::vector<Segment> hydro_geom = SegmentsFromMbrs(hydro, 200);
+
+  // Store both relations and index the roads.
+  auto roads_pager = MakeMemoryPager(&disk, "roads");
+  auto hydro_pager = MakeMemoryPager(&disk, "hydro");
+  auto write = [](Pager* pager, const std::vector<RectF>& rects) {
+    StreamWriter<RectF> writer(pager);
+    for (const RectF& r : rects) writer.Append(r);
+    DatasetRef ref;
+    ref.range = StreamRange{pager, 0, writer.Finish().value()};
+    ref.extent = TigerGenerator::DefaultRegion();
+    return ref;
+  };
+  const DatasetRef roads_ref = write(roads_pager.get(), roads);
+  const DatasetRef hydro_ref = write(hydro_pager.get(), hydro);
+  auto tree_pager = MakeMemoryPager(&disk, "roads.rtree");
+  auto scratch = MakeMemoryPager(&disk, "scratch");
+  auto tree = RTree::BulkLoadHilbert(tree_pager.get(), roads_ref.range,
+                                     scratch.get(), RTreeParams(), 24u << 20);
+  SJ_CHECK_OK(tree.status());
+
+  // Filter step: MBR join (PQ drains the index in sorted order, the hydro
+  // stream is sorted on the fly).
+  SpatialJoiner joiner(&disk, JoinOptions());
+  CollectingSink candidates;
+  auto stats = joiner.Join(JoinInput::FromRTree(&*tree),
+                           JoinInput::FromStream(hydro_ref), &candidates,
+                           JoinAlgorithm::kPQ);
+  SJ_CHECK_OK(stats.status());
+
+  // Refinement step: exact segment intersection on the candidates.
+  uint64_t crossings = 0;
+  for (const IdPair& pair : candidates.pairs()) {
+    if (SegmentsIntersect(road_geom[pair.a], hydro_geom[pair.b])) {
+      crossings++;
+    }
+  }
+
+  const double selectivity =
+      candidates.pairs().empty()
+          ? 0.0
+          : 100.0 * static_cast<double>(crossings) /
+                static_cast<double>(candidates.pairs().size());
+  std::printf("filter step:      %zu candidate MBR pairs (modeled %.2f s)\n",
+              candidates.pairs().size(),
+              stats->ObservedSeconds(disk.machine()));
+  std::printf("refinement step:  %llu true road/water crossings"
+              " (%.0f%% of candidates)\n",
+              (unsigned long long)crossings, selectivity);
+  std::printf(
+      "\nThe filter step does all the I/O; refinement touched only the %zu "
+      "candidate pairs\ninstead of all %zu x %zu combinations.\n",
+      candidates.pairs().size(), roads.size(), hydro.size());
+  return 0;
+}

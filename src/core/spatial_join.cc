@@ -1,0 +1,227 @@
+#include "core/spatial_join.h"
+
+#include <algorithm>
+
+#include "sort/external_sort.h"
+
+namespace sj {
+
+const char* ToString(JoinAlgorithm algo) {
+  switch (algo) {
+    case JoinAlgorithm::kAuto:
+      return "AUTO";
+    case JoinAlgorithm::kSSSJ:
+      return "SSSJ";
+    case JoinAlgorithm::kPBSM:
+      return "PBSM";
+    case JoinAlgorithm::kST:
+      return "ST";
+    case JoinAlgorithm::kPQ:
+      return "PQ";
+  }
+  return "?";
+}
+
+uint64_t JoinInput::pages() const {
+  if (indexed()) return rtree_->node_count();
+  constexpr uint64_t per_page = kPageSize / sizeof(RectF);
+  return (count() + per_page - 1) / per_page;
+}
+
+uint64_t SpatialJoiner::PreparedSource::index_pages_read() const {
+  return pq != nullptr ? pq->pages_read() : 0;
+}
+
+PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
+                                 const GridHistogram* hist_a,
+                                 const GridHistogram* hist_b) const {
+  PlanDecision decision;
+  const uint64_t total_pages = a.pages() + b.pages();
+  decision.stream_cost_seconds = cost_model_.SSSJSeconds(total_pages);
+
+  if (!a.indexed() && !b.indexed()) {
+    decision.algorithm = JoinAlgorithm::kSSSJ;
+    decision.rationale = "no index available; SSSJ streams both inputs";
+    return decision;
+  }
+
+  // Estimate the fraction of the indexed side(s) a traversal touches:
+  // prefer histogram mass, fall back to extent overlap area ratio.
+  auto touched = [&](const JoinInput& self, const JoinInput& other,
+                     const GridHistogram* h_self,
+                     const GridHistogram* h_other) -> double {
+    if (h_self != nullptr && h_other != nullptr) {
+      return h_self->EstimateJoinFraction(*h_other);
+    }
+    const RectF se = self.extent(), oe = other.extent();
+    if (!se.Intersects(oe)) return 0.0;
+    const double self_area = se.Area();
+    if (self_area <= 0.0) return 1.0;
+    return std::min(1.0, se.IntersectionWith(oe).Area() / self_area);
+  };
+  const double frac_a = touched(a, b, hist_a, hist_b);
+  const double frac_b = touched(b, a, hist_b, hist_a);
+  // Pages a PQ plan reads: touched part of each index, whole stream sides
+  // (which are also sorted: approximate with SSSJ-like handling per side).
+  double index_cost = 0.0;
+  double max_frac = 0.0;
+  if (a.indexed()) {
+    index_cost += cost_model_.PQSeconds(
+        static_cast<uint64_t>(frac_a * static_cast<double>(a.pages())));
+    max_frac = std::max(max_frac, frac_a);
+  } else {
+    index_cost += cost_model_.SSSJSeconds(a.pages());
+  }
+  if (b.indexed()) {
+    index_cost += cost_model_.PQSeconds(
+        static_cast<uint64_t>(frac_b * static_cast<double>(b.pages())));
+    max_frac = std::max(max_frac, frac_b);
+  } else {
+    index_cost += cost_model_.SSSJSeconds(b.pages());
+  }
+  decision.touched_fraction = max_frac;
+  decision.index_cost_seconds = index_cost;
+
+  if (index_cost < decision.stream_cost_seconds) {
+    decision.algorithm = JoinAlgorithm::kPQ;
+    decision.rationale =
+        "index traversal touches a small enough fraction (< break-even " +
+        std::to_string(cost_model_.IndexBreakEvenFraction()) + ")";
+  } else {
+    decision.algorithm = JoinAlgorithm::kSSSJ;
+    decision.rationale =
+        "random index reads would cost more than streaming; ignoring index";
+  }
+  return decision;
+}
+
+Result<DatasetRef> SpatialJoiner::ExtractLeaves(const RTree& tree) {
+  auto out = MakeMemoryPager(disk_, "extract.leaves");
+  StreamWriter<RectF> writer(out.get());
+  const PageId first = writer.first_page();
+  std::vector<RectF> all;
+  SJ_RETURN_IF_ERROR(tree.CollectAll(&all));
+  for (const RectF& r : all) writer.Append(r);
+  SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
+  DatasetRef ref;
+  ref.range = StreamRange{out.get(), first, n};
+  ref.extent = tree.bounding_box();
+  // Leak the pager intentionally into the DatasetRef's lifetime: callers
+  // of Join() only use the extraction within the call. To keep ownership
+  // explicit we instead stash it on the joiner-scoped list.
+  extracted_.push_back(std::move(out));
+  return ref;
+}
+
+Result<SpatialJoiner::PreparedSource> SpatialJoiner::PrepareSource(
+    const JoinInput& input, const RectF* other_extent,
+    const GridHistogram* other_hist) {
+  PreparedSource prepared;
+  switch (input.kind()) {
+    case JoinInput::Kind::kRTree: {
+      RTreePQSource::Options options;
+      if (other_extent != nullptr && other_extent->Valid()) {
+        prepared.filter = std::make_unique<RectF>(*other_extent);
+        options.filter = prepared.filter.get();
+      }
+      options.occupancy = other_hist;
+      auto source =
+          std::make_unique<RTreePQSource>(input.rtree(), options);
+      prepared.pq = source.get();
+      prepared.source = std::move(source);
+      return prepared;
+    }
+    case JoinInput::Kind::kSortedStream: {
+      prepared.source =
+          std::make_unique<SortedStreamSource>(input.stream().range);
+      return prepared;
+    }
+    case JoinInput::Kind::kStream: {
+      prepared.scratch = MakeMemoryPager(disk_, "join.sort.runs");
+      prepared.sorted = MakeMemoryPager(disk_, "join.sort.out");
+      SJ_ASSIGN_OR_RETURN(
+          StreamRange sorted,
+          SortRectsByYLo(input.stream().range, prepared.scratch.get(),
+                         prepared.sorted.get(), options_.memory_bytes / 2));
+      prepared.source = std::make_unique<SortedStreamSource>(sorted);
+      return prepared;
+    }
+  }
+  return Status::Internal("unreachable join input kind");
+}
+
+Result<JoinStats> SpatialJoiner::Join(const JoinInput& a, const JoinInput& b,
+                                      JoinSink* sink, JoinAlgorithm algorithm,
+                                      const GridHistogram* hist_a,
+                                      const GridHistogram* hist_b) {
+  if (algorithm == JoinAlgorithm::kAuto) {
+    algorithm = Plan(a, b, hist_a, hist_b).algorithm;
+  }
+  switch (algorithm) {
+    case JoinAlgorithm::kSSSJ:
+    case JoinAlgorithm::kPBSM: {
+      DatasetRef ra, rb;
+      if (a.indexed()) {
+        SJ_ASSIGN_OR_RETURN(ra, ExtractLeaves(*a.rtree()));
+      } else {
+        ra = a.stream();
+      }
+      if (b.indexed()) {
+        SJ_ASSIGN_OR_RETURN(rb, ExtractLeaves(*b.rtree()));
+      } else {
+        rb = b.stream();
+      }
+      if (algorithm == JoinAlgorithm::kSSSJ) {
+        return SSSJJoin(ra, rb, disk_, options_, sink);
+      }
+      return PBSMJoin(ra, rb, disk_, options_, sink);
+    }
+    case JoinAlgorithm::kST: {
+      if (!a.indexed() || !b.indexed()) {
+        return Status::FailedPrecondition(
+            "ST requires R-tree indexes on both inputs");
+      }
+      return STJoin(*a.rtree(), *b.rtree(), disk_, options_, sink);
+    }
+    case JoinAlgorithm::kPQ: {
+      const RectF extent_a = a.extent();
+      const RectF extent_b = b.extent();
+      SJ_ASSIGN_OR_RETURN(PreparedSource sa,
+                          PrepareSource(a, &extent_b, hist_b));
+      SJ_ASSIGN_OR_RETURN(PreparedSource sb,
+                          PrepareSource(b, &extent_a, hist_a));
+      RectF extent = a.extent();
+      extent.ExtendTo(b.extent());
+      SJ_ASSIGN_OR_RETURN(
+          JoinStats stats,
+          PQJoinSources(sa.source.get(), sb.source.get(), extent, disk_,
+                        options_, sink));
+      stats.index_pages_read = sa.index_pages_read() + sb.index_pages_read();
+      return stats;
+    }
+    case JoinAlgorithm::kAuto:
+      break;
+  }
+  return Status::Internal("unreachable join algorithm");
+}
+
+Result<MultiwayStats> SpatialJoiner::MultiwayJoin(
+    const std::vector<JoinInput>& inputs, TupleSink* sink) {
+  if (inputs.size() < 2) {
+    return Status::InvalidArgument("multiway join needs at least 2 inputs");
+  }
+  std::vector<PreparedSource> prepared;
+  prepared.reserve(inputs.size());
+  RectF extent = RectF::Empty();
+  for (const JoinInput& input : inputs) {
+    SJ_ASSIGN_OR_RETURN(PreparedSource p, PrepareSource(input));
+    prepared.push_back(std::move(p));
+    extent.ExtendTo(input.extent());
+  }
+  std::vector<SortedRectSource*> sources;
+  sources.reserve(prepared.size());
+  for (PreparedSource& p : prepared) sources.push_back(p.source.get());
+  return MultiwayJoinSources(sources, extent, disk_, options_, sink);
+}
+
+}  // namespace sj

@@ -1,0 +1,55 @@
+#include "datagen/dataset_file.h"
+
+#include <cstring>
+
+#include "geometry/extent.h"
+#include "io/stream.h"
+
+namespace sj {
+
+Result<DatasetRef> WriteDataset(Pager* pager, std::span<const RectF> rects,
+                                const std::string& name) {
+  DatasetFileHeader header;
+  header.count = rects.size();
+  const RectF extent = ComputeExtent(rects);
+  header.xlo = extent.xlo;
+  header.ylo = extent.ylo;
+  header.xhi = extent.xhi;
+  header.yhi = extent.yhi;
+  std::strncpy(header.name, name.c_str(), sizeof(header.name) - 1);
+
+  const PageId header_page = pager->Allocate(1);
+  uint8_t page[kPageSize] = {};
+  std::memcpy(page, &header, sizeof(header));
+  SJ_RETURN_IF_ERROR(pager->WritePage(header_page, page));
+
+  StreamWriter<RectF> writer(pager);
+  const PageId first = writer.first_page();
+  for (const RectF& r : rects) writer.Append(r);
+  SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
+
+  DatasetRef ref;
+  ref.range = StreamRange{pager, first, n};
+  ref.extent = extent;
+  return ref;
+}
+
+Result<DatasetRef> OpenDataset(Pager* pager, PageId header_page) {
+  uint8_t page[kPageSize];
+  SJ_RETURN_IF_ERROR(pager->ReadPage(header_page, page));
+  DatasetFileHeader header;
+  std::memcpy(&header, page, sizeof(header));
+  if (header.magic != DatasetFileHeader::kMagic) {
+    return Status::Corruption("dataset header magic mismatch");
+  }
+  if (header.version != DatasetFileHeader::kVersion) {
+    return Status::Corruption("unsupported dataset version");
+  }
+  DatasetRef ref;
+  ref.range = StreamRange{pager, header_page + 1, header.count};
+  ref.extent = RectF(header.xlo, header.ylo, header.xhi, header.yhi);
+  if (header.count == 0) ref.extent = RectF::Empty();
+  return ref;
+}
+
+}  // namespace sj

@@ -1,0 +1,40 @@
+#ifndef USJ_DATAGEN_DATASET_FILE_H_
+#define USJ_DATAGEN_DATASET_FILE_H_
+
+#include <span>
+#include <string>
+
+#include "geometry/rect.h"
+#include "io/pager.h"
+#include "join/join_types.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// On-disk dataset format: page 0 holds a header (magic, version, record
+/// count, extent, name), records follow in StreamWriter<RectF> layout from
+/// page 1. Lets generated inputs persist across runs (FileBackend) while
+/// remaining byte-identical on the memory backend.
+struct DatasetFileHeader {
+  static constexpr uint32_t kMagic = 0x534a4453;  // "SJDS"
+  static constexpr uint32_t kVersion = 1;
+
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint64_t count = 0;
+  float xlo = 0, ylo = 0, xhi = 0, yhi = 0;
+  char name[64] = {};
+};
+
+/// Writes `rects` (any order) as a dataset on `pager` starting at its
+/// current end; returns a ref to the stored records.
+Result<DatasetRef> WriteDataset(Pager* pager, std::span<const RectF> rects,
+                                const std::string& name);
+
+/// Opens a dataset previously written at page `header_page` (0 for a
+/// dedicated file).
+Result<DatasetRef> OpenDataset(Pager* pager, PageId header_page = 0);
+
+}  // namespace sj
+
+#endif  // USJ_DATAGEN_DATASET_FILE_H_

@@ -1,0 +1,75 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+
+namespace sj {
+
+std::vector<RectF> UniformRects(uint64_t n, const RectF& region,
+                                float mean_size, uint64_t seed,
+                                ObjectId base_id) {
+  Random rng(seed);
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const float cx =
+        static_cast<float>(rng.UniformDouble(region.xlo, region.xhi));
+    const float cy =
+        static_cast<float>(rng.UniformDouble(region.ylo, region.yhi));
+    const float w =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    const float h =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    out.emplace_back(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2,
+                     base_id + static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+std::vector<RectF> ClusteredRects(uint64_t n, const RectF& region,
+                                  uint32_t clusters, float cluster_sigma,
+                                  float mean_size, uint64_t seed,
+                                  ObjectId base_id) {
+  Random rng(seed);
+  std::vector<std::pair<float, float>> centers;
+  centers.reserve(clusters);
+  for (uint32_t c = 0; c < clusters; ++c) {
+    centers.emplace_back(
+        static_cast<float>(rng.UniformDouble(region.xlo, region.xhi)),
+        static_cast<float>(rng.UniformDouble(region.ylo, region.yhi)));
+  }
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto& [ccx, ccy] = centers[rng.Uniform(clusters)];
+    const float cx = ccx + static_cast<float>(rng.Normal()) * cluster_sigma;
+    const float cy = ccy + static_cast<float>(rng.Normal()) * cluster_sigma;
+    const float w =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    const float h =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    RectF r(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2,
+            base_id + static_cast<ObjectId>(i));
+    r.xlo = std::clamp(r.xlo, region.xlo, region.xhi);
+    r.xhi = std::clamp(r.xhi, region.xlo, region.xhi);
+    r.ylo = std::clamp(r.ylo, region.ylo, region.yhi);
+    r.yhi = std::clamp(r.yhi, region.ylo, region.yhi);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RectF> DiagonalPoints(uint64_t n, const RectF& region,
+                                  ObjectId base_id) {
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const float t = n > 1 ? static_cast<float>(i) / static_cast<float>(n - 1)
+                          : 0.0f;
+    const float x = region.xlo + t * (region.xhi - region.xlo);
+    const float y = region.ylo + t * (region.yhi - region.ylo);
+    out.emplace_back(x, y, x, y, base_id + static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+}  // namespace sj

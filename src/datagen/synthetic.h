@@ -1,0 +1,33 @@
+#ifndef USJ_DATAGEN_SYNTHETIC_H_
+#define USJ_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "util/random.h"
+
+namespace sj {
+
+/// `n` rectangles with centers uniform in `region` and edge lengths
+/// uniform in (0, 2*mean_size). Ids are base_id..base_id+n-1. Used by
+/// property tests and microbenchmarks.
+std::vector<RectF> UniformRects(uint64_t n, const RectF& region,
+                                float mean_size, uint64_t seed,
+                                ObjectId base_id = 0);
+
+/// `n` rectangles in `clusters` Gaussian clusters (worst-ish case for
+/// PBSM's tiles).
+std::vector<RectF> ClusteredRects(uint64_t n, const RectF& region,
+                                  uint32_t clusters, float cluster_sigma,
+                                  float mean_size, uint64_t seed,
+                                  ObjectId base_id = 0);
+
+/// Degenerate inputs: `n` points (zero-area rectangles) on a diagonal,
+/// exercising tie and boundary paths.
+std::vector<RectF> DiagonalPoints(uint64_t n, const RectF& region,
+                                  ObjectId base_id = 0);
+
+}  // namespace sj
+
+#endif  // USJ_DATAGEN_SYNTHETIC_H_

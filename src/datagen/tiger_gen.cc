@@ -1,0 +1,143 @@
+#include "datagen/tiger_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sj {
+
+std::vector<TigerSpec> PaperDatasets(double scale) {
+  auto scaled = [scale](uint64_t n) -> uint64_t {
+    return std::max<uint64_t>(1, static_cast<uint64_t>(n * scale));
+  };
+  // Cardinalities from Table 2.
+  return {
+      {"NJ", scaled(414442), scaled(50853), 101},
+      {"NY", scaled(870412), scaled(156567), 102},
+      {"DISK1", scaled(6030844), scaled(1161906), 103},
+      {"DISK4-6", scaled(11888474), scaled(3446094), 104},
+      {"DISK1-3", scaled(17199848), scaled(3967649), 105},
+      {"DISK1-6", scaled(29088173), scaled(7413353), 106},
+  };
+}
+
+TigerSpec PaperDataset(const std::string& name, double scale) {
+  for (const TigerSpec& spec : PaperDatasets(scale)) {
+    if (spec.name == name) return spec;
+  }
+  SJ_CHECK(false) << "unknown paper dataset" << name;
+  return {};
+}
+
+TigerGenerator::TigerGenerator(uint64_t seed, const RectF& region)
+    : rng_(seed), region_(region) {
+  // A fixed county geography per seed. County sizes follow a Zipf-ish
+  // distribution (a few metropolitan clusters hold much of the data).
+  const int num_counties = 600;
+  counties_.reserve(num_counties);
+  cumulative_weight_.reserve(num_counties);
+  for (int i = 0; i < num_counties; ++i) {
+    County c;
+    c.cx = static_cast<float>(rng_.UniformDouble(region_.xlo, region_.xhi));
+    c.cy = static_cast<float>(rng_.UniformDouble(region_.ylo, region_.yhi));
+    // Radii 0.05 - 0.6 degrees; big counties are rarer.
+    c.radius = static_cast<float>(0.05 + 0.55 * rng_.UniformDouble(0.0, 1.0) *
+                                             rng_.UniformDouble(0.0, 1.0));
+    c.weight = 1.0 / std::pow(static_cast<double>(i + 1), 0.7);
+    total_weight_ += c.weight;
+    counties_.push_back(c);
+    cumulative_weight_.push_back(total_weight_);
+  }
+}
+
+const TigerGenerator::County& TigerGenerator::SampleCounty() {
+  const double u = rng_.UniformDouble(0.0, total_weight_);
+  auto it = std::lower_bound(cumulative_weight_.begin(),
+                             cumulative_weight_.end(), u);
+  const size_t idx =
+      std::min<size_t>(static_cast<size_t>(it - cumulative_weight_.begin()),
+                       counties_.size() - 1);
+  return counties_[idx];
+}
+
+RectF TigerGenerator::ClampToRegion(float xlo, float ylo, float xhi,
+                                    float yhi, ObjectId id) const {
+  xlo = std::clamp(xlo, region_.xlo, region_.xhi);
+  xhi = std::clamp(xhi, region_.xlo, region_.xhi);
+  ylo = std::clamp(ylo, region_.ylo, region_.yhi);
+  yhi = std::clamp(yhi, region_.ylo, region_.yhi);
+  if (xhi < xlo) std::swap(xlo, xhi);
+  if (yhi < ylo) std::swap(ylo, yhi);
+  return RectF(xlo, ylo, xhi, yhi, id);
+}
+
+void TigerGenerator::GenerateRoads(uint64_t n, std::vector<RectF>* out,
+                                   ObjectId base_id) {
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const County& c = SampleCounty();
+    // Position: Gaussian scatter around the county center.
+    const float x =
+        c.cx + static_cast<float>(rng_.Normal()) * c.radius * 0.5f;
+    const float y =
+        c.cy + static_cast<float>(rng_.Normal()) * c.radius * 0.5f;
+    // A street segment: ~100-600 m (0.001-0.006 degrees), axis-leaning
+    // (street grids), thin in the other direction.
+    const double len = 0.001 + 0.005 * rng_.UniformDouble(0.0, 1.0);
+    const double thin = len * rng_.UniformDouble(0.02, 0.35);
+    const bool horizontal = rng_.OneIn(0.5);
+    const double dx = horizontal ? len : thin;
+    const double dy = horizontal ? thin : len;
+    out->push_back(ClampToRegion(
+        x - static_cast<float>(dx) / 2, y - static_cast<float>(dy) / 2,
+        x + static_cast<float>(dx) / 2, y + static_cast<float>(dy) / 2,
+        base_id + static_cast<ObjectId>(i)));
+  }
+}
+
+void TigerGenerator::GenerateHydro(uint64_t n, std::vector<RectF>* out,
+                                   ObjectId base_id) {
+  out->reserve(out->size() + n);
+  uint64_t produced = 0;
+  // Rivers: random-walk chains of elongated MBRs (60 % of features);
+  // lakes: isolated blobs (40 %).
+  while (produced < n) {
+    if (rng_.OneIn(0.6)) {
+      const County& c = SampleCounty();
+      // Rivers share the road clusters' geography (drainage follows the
+      // populated valleys), so the road x hydro join has realistic
+      // selectivity.
+      float x = c.cx + static_cast<float>(rng_.Normal()) * c.radius * 0.4f;
+      float y = c.cy + static_cast<float>(rng_.Normal()) * c.radius * 0.4f;
+      double heading = rng_.UniformDouble(0.0, 6.283185307179586);
+      const uint64_t chain =
+          std::min<uint64_t>(n - produced, 8 + rng_.Uniform(25));
+      for (uint64_t k = 0; k < chain; ++k) {
+        const double step = 0.01 + 0.03 * rng_.UniformDouble(0.0, 1.0);
+        heading += rng_.Normal() * 0.35;  // Meander.
+        const float nx = x + static_cast<float>(step * __builtin_cos(heading));
+        const float ny = y + static_cast<float>(step * __builtin_sin(heading));
+        out->push_back(ClampToRegion(std::min(x, nx), std::min(y, ny),
+                                     std::max(x, nx), std::max(y, ny),
+                                     base_id + static_cast<ObjectId>(produced)));
+        produced++;
+        x = nx;
+        y = ny;
+      }
+    } else {
+      const County& c = SampleCounty();
+      const float x = c.cx + static_cast<float>(rng_.Normal()) * c.radius * 0.4f;
+      const float y = c.cy + static_cast<float>(rng_.Normal()) * c.radius * 0.4f;
+      const double w = 0.005 + 0.05 * rng_.UniformDouble(0.0, 1.0);
+      const double h = w * rng_.UniformDouble(0.4, 1.6);
+      out->push_back(ClampToRegion(
+          x - static_cast<float>(w) / 2, y - static_cast<float>(h) / 2,
+          x + static_cast<float>(w) / 2, y + static_cast<float>(h) / 2,
+          base_id + static_cast<ObjectId>(produced)));
+      produced++;
+    }
+  }
+}
+
+}  // namespace sj

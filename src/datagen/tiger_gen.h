@@ -1,0 +1,78 @@
+#ifndef USJ_DATAGEN_TIGER_GEN_H_
+#define USJ_DATAGEN_TIGER_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "util/random.h"
+
+namespace sj {
+
+/// One named dataset of the paper's ladder (Table 2): a "Road" relation
+/// and a "Hydro" relation of the given cardinalities.
+struct TigerSpec {
+  std::string name;
+  uint64_t road_count = 0;
+  uint64_t hydro_count = 0;
+  uint64_t seed = 0;
+};
+
+/// The paper's six TIGER/Line 97 datasets, with cardinalities scaled by
+/// `scale` (1.0 = the paper's object counts: NJ 414k/51k ... DISK1-6
+/// 29.1M/7.4M). The relative ladder is preserved at any scale.
+std::vector<TigerSpec> PaperDatasets(double scale);
+
+/// Returns the spec with the given name (NJ, NY, DISK1, DISK4-6, DISK1-3,
+/// DISK1-6) at `scale`; aborts on unknown names.
+TigerSpec PaperDataset(const std::string& name, double scale);
+
+/// Generates TIGER/Line-like MBR relations (the substitution for the
+/// paper's proprietary CD-ROM extracts; see DESIGN.md §2).
+///
+/// Road features are short line-segment MBRs clustered into "counties"
+/// with skewed (Zipf-like) densities, producing the dense, locally
+/// uniform, globally clustered distribution of the US road network. Hydro
+/// features mix river polyline fragments (random-walk chains of elongated
+/// MBRs through county territory) and lake blobs. Both relations share the
+/// same cluster geography, so road x hydro joins have realistic (sub-
+/// linear) selectivity, and a horizontal sweep line cuts O(sqrt(N))
+/// rectangles (the square-root rule the algorithms rely on).
+class TigerGenerator {
+ public:
+  /// Conterminous-US-like coordinate frame (degrees).
+  static RectF DefaultRegion() { return RectF(-125.0f, 24.0f, -66.0f, 50.0f); }
+
+  TigerGenerator(uint64_t seed, const RectF& region = DefaultRegion());
+
+  /// Appends `n` road MBRs with ids base_id .. base_id+n-1.
+  void GenerateRoads(uint64_t n, std::vector<RectF>* out,
+                     ObjectId base_id = 0);
+  /// Appends `n` hydro MBRs with ids base_id .. base_id+n-1.
+  void GenerateHydro(uint64_t n, std::vector<RectF>* out,
+                     ObjectId base_id = 0);
+
+  const RectF& region() const { return region_; }
+
+ private:
+  struct County {
+    float cx, cy;     // Center.
+    float radius;     // Spatial spread.
+    double weight;    // Sampling probability mass (Zipf-ish).
+  };
+
+  const County& SampleCounty();
+  RectF ClampToRegion(float xlo, float ylo, float xhi, float yhi,
+                      ObjectId id) const;
+
+  Random rng_;
+  RectF region_;
+  std::vector<County> counties_;
+  std::vector<double> cumulative_weight_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace sj
+
+#endif  // USJ_DATAGEN_TIGER_GEN_H_

@@ -1,0 +1,68 @@
+#include "geometry/hilbert.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sj {
+
+HilbertCurve::HilbertCurve(int order) : order_(order) {
+  SJ_CHECK(order >= 1 && order <= 16) << "Hilbert order out of range" << order;
+}
+
+uint64_t HilbertCurve::Distance(uint32_t x, uint32_t y) const {
+  SJ_DCHECK(x < grid_size() && y < grid_size());
+  uint64_t rx, ry, d = 0;
+  for (uint64_t s = grid_size() / 2; s > 0; s /= 2) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<uint32_t>(s - 1 - x);
+        y = static_cast<uint32_t>(s - 1 - y);
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+void HilbertCurve::Point(uint64_t distance, uint32_t* x, uint32_t* y) const {
+  uint64_t rx, ry, t = distance;
+  uint64_t px = 0, py = 0;
+  for (uint64_t s = 1; s < grid_size(); s *= 2) {
+    rx = 1 & (t / 2);
+    ry = 1 & (t ^ rx);
+    // Rotate back.
+    if (ry == 0) {
+      if (rx == 1) {
+        px = s - 1 - px;
+        py = s - 1 - py;
+      }
+      std::swap(px, py);
+    }
+    px += s * rx;
+    py += s * ry;
+    t /= 4;
+  }
+  *x = static_cast<uint32_t>(px);
+  *y = static_cast<uint32_t>(py);
+}
+
+uint64_t HilbertKey(const HilbertCurve& curve, const RectF& extent, float x,
+                    float y) {
+  const uint32_t n = curve.grid_size();
+  auto to_cell = [n](float v, float lo, float hi) -> uint32_t {
+    if (!(hi > lo)) return 0;  // Degenerate axis.
+    double unit = (static_cast<double>(v) - lo) / (static_cast<double>(hi) - lo);
+    unit = std::clamp(unit, 0.0, 1.0);
+    uint32_t cell = static_cast<uint32_t>(unit * n);
+    return std::min(cell, n - 1);
+  };
+  return curve.Distance(to_cell(x, extent.xlo, extent.xhi),
+                        to_cell(y, extent.ylo, extent.yhi));
+}
+
+}  // namespace sj

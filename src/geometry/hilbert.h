@@ -1,0 +1,42 @@
+#ifndef USJ_GEOMETRY_HILBERT_H_
+#define USJ_GEOMETRY_HILBERT_H_
+
+#include <cstdint>
+
+#include "geometry/rect.h"
+
+namespace sj {
+
+/// Hilbert space-filling curve on a 2^order x 2^order grid.
+///
+/// Used by the R-tree bulk loader (the packing heuristic of Kamel &
+/// Faloutsos that the paper uses) to order rectangle centers so that
+/// consecutive leaf pages cover spatially close objects.
+class HilbertCurve {
+ public:
+  /// `order` bits per axis; the curve visits 4^order cells. order <= 16 so
+  /// the distance fits comfortably in 64 bits (we use 2*order bits).
+  explicit HilbertCurve(int order = 16);
+
+  int order() const { return order_; }
+  uint32_t grid_size() const { return 1u << order_; }
+
+  /// Distance along the curve of grid cell (x, y). x, y < grid_size().
+  uint64_t Distance(uint32_t x, uint32_t y) const;
+
+  /// Inverse mapping: the cell at the given distance along the curve.
+  void Point(uint64_t distance, uint32_t* x, uint32_t* y) const;
+
+ private:
+  int order_;
+};
+
+/// Maps float coordinates within `extent` onto the Hilbert grid and returns
+/// the curve distance; callers use this as a sort key. Coordinates outside
+/// the extent are clamped. A degenerate extent axis maps to cell 0.
+uint64_t HilbertKey(const HilbertCurve& curve, const RectF& extent, float x,
+                    float y);
+
+}  // namespace sj
+
+#endif  // USJ_GEOMETRY_HILBERT_H_

@@ -1,0 +1,14 @@
+#include "geometry/rect.h"
+
+#include <cstdio>
+
+namespace sj {
+
+std::string RectF::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g,%g]x[%g,%g]#%u", xlo, xhi, ylo, yhi,
+                id);
+  return buf;
+}
+
+}  // namespace sj

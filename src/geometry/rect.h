@@ -1,0 +1,145 @@
+#ifndef USJ_GEOMETRY_RECT_H_
+#define USJ_GEOMETRY_RECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace sj {
+
+/// Identifier of a spatial object. 32 bits, as in the paper's 20-byte
+/// record layout (16 bytes of corner coordinates + 4-byte ID).
+using ObjectId = uint32_t;
+
+/// An axis-parallel rectangle (minimal bounding rectangle, MBR) with an
+/// object identifier.
+///
+/// The on-disk record is exactly 20 bytes — four 32-bit float coordinates
+/// plus a 32-bit id — matching the TIGER/Line MBR files used in the paper
+/// (Table 2), so an 8 KB page holds 400 entries (the paper's R-tree
+/// fanout).
+///
+/// Rectangles are closed: two rectangles that share only a boundary point
+/// intersect. Degenerate rectangles (points, segments) are permitted.
+struct RectF {
+  float xlo = 0.0f;
+  float ylo = 0.0f;
+  float xhi = 0.0f;
+  float yhi = 0.0f;
+  ObjectId id = 0;
+
+  RectF() = default;
+  RectF(float xl, float yl, float xh, float yh, ObjectId oid = 0)
+      : xlo(xl), ylo(yl), xhi(xh), yhi(yh), id(oid) {}
+
+  /// True when the rectangle is well-formed (lo <= hi on both axes and no
+  /// NaNs; NaN comparisons are false so this rejects NaN too).
+  bool Valid() const { return xlo <= xhi && ylo <= yhi; }
+
+  /// Closed-rectangle intersection test (shared boundaries count).
+  bool Intersects(const RectF& o) const {
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+
+  /// Interval test on the x axis only; the sweep structures use this after
+  /// the sweep line has already established y overlap.
+  bool IntersectsX(const RectF& o) const {
+    return xlo <= o.xhi && o.xlo <= xhi;
+  }
+
+  /// True when `o` lies entirely inside this rectangle (closed sense).
+  bool Contains(const RectF& o) const {
+    return xlo <= o.xlo && o.xhi <= xhi && ylo <= o.ylo && o.yhi <= yhi;
+  }
+
+  /// True when the point (x, y) lies in the closed rectangle.
+  bool ContainsPoint(float x, float y) const {
+    return xlo <= x && x <= xhi && ylo <= y && y <= yhi;
+  }
+
+  /// Area; degenerate rectangles have area zero.
+  double Area() const {
+    return static_cast<double>(xhi - xlo) * static_cast<double>(yhi - ylo);
+  }
+
+  /// Grows this rectangle to cover `o`.
+  void ExtendTo(const RectF& o) {
+    xlo = std::min(xlo, o.xlo);
+    ylo = std::min(ylo, o.ylo);
+    xhi = std::max(xhi, o.xhi);
+    yhi = std::max(yhi, o.yhi);
+  }
+
+  /// The intersection rectangle. Only meaningful when Intersects(o).
+  RectF IntersectionWith(const RectF& o) const {
+    return RectF(std::max(xlo, o.xlo), std::max(ylo, o.ylo),
+                 std::min(xhi, o.xhi), std::min(yhi, o.yhi));
+  }
+
+  /// Center coordinates (used by the Hilbert bulk loader).
+  float CenterX() const { return 0.5f * (xlo + xhi); }
+  float CenterY() const { return 0.5f * (ylo + yhi); }
+
+  /// A rectangle that covers nothing and is the identity for ExtendTo.
+  static RectF Empty() {
+    const float inf = std::numeric_limits<float>::infinity();
+    return RectF(inf, inf, -inf, -inf);
+  }
+
+  /// The area ExtendTo(o) would add (>= 0). Used by the bulk-load top-off
+  /// heuristic and the Guttman insertion path.
+  double Enlargement(const RectF& o) const {
+    RectF grown = *this;
+    grown.ExtendTo(o);
+    return grown.Area() - Area();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const RectF& a, const RectF& b) {
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi &&
+           a.yhi == b.yhi && a.id == b.id;
+  }
+};
+
+static_assert(sizeof(RectF) == 20, "RectF must match the paper's 20-byte record");
+
+/// Orders rectangles by lower y coordinate — the sort order of every
+/// sweep input in the library. Ties broken by id for determinism.
+struct OrderByYLo {
+  bool operator()(const RectF& a, const RectF& b) const {
+    if (a.ylo != b.ylo) return a.ylo < b.ylo;
+    return a.id < b.id;
+  }
+};
+
+/// Orders rectangles by lower x coordinate (used inside ST's per-node
+/// forward sweep, which sweeps along x).
+struct OrderByXLo {
+  bool operator()(const RectF& a, const RectF& b) const {
+    if (a.xlo != b.xlo) return a.xlo < b.xlo;
+    return a.id < b.id;
+  }
+};
+
+/// A reported join result: the ids of two intersecting MBRs.
+struct IdPair {
+  ObjectId a = 0;
+  ObjectId b = 0;
+
+  friend bool operator==(const IdPair& x, const IdPair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const IdPair& x, const IdPair& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+static_assert(sizeof(IdPair) == 8, "IdPair is the paper's 8-byte output item");
+
+}  // namespace sj
+
+#endif  // USJ_GEOMETRY_RECT_H_

@@ -1,0 +1,68 @@
+#ifndef USJ_GEOMETRY_SEGMENT_H_
+#define USJ_GEOMETRY_SEGMENT_H_
+
+#include "geometry/rect.h"
+
+namespace sj {
+
+/// A 2-D line segment with exact-geometry predicates.
+///
+/// The join algorithms in this library implement the *filter step* on
+/// MBRs (§1); Segment supplies the *refinement step* for the common GIS
+/// case where the underlying objects are polyline fragments (TIGER roads
+/// and rivers). See examples/gis_overlay.cpp for the two-step pipeline.
+struct Segment {
+  float x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  Segment() = default;
+  Segment(float ax, float ay, float bx, float by)
+      : x1(ax), y1(ay), x2(bx), y2(by) {}
+
+  /// The segment's MBR (the filter-step representation).
+  RectF Mbr(ObjectId id = 0) const {
+    return RectF(x1 < x2 ? x1 : x2, y1 < y2 ? y1 : y2, x1 < x2 ? x2 : x1,
+                 y1 < y2 ? y2 : y1, id);
+  }
+};
+
+namespace geometry_internal {
+
+/// Sign of the cross product (b-a) x (c-a): orientation of the triple.
+inline double Orientation(double ax, double ay, double bx, double by,
+                          double cx, double cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+inline bool OnSegment(double ax, double ay, double bx, double by, double px,
+                      double py) {
+  return std::min(ax, bx) <= px && px <= std::max(ax, bx) &&
+         std::min(ay, by) <= py && py <= std::max(ay, by);
+}
+
+}  // namespace geometry_internal
+
+/// True when the closed segments intersect (including touching endpoints
+/// and collinear overlap). Computed in double precision; exact for the
+/// float inputs used throughout the library.
+inline bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  using geometry_internal::OnSegment;
+  using geometry_internal::Orientation;
+  const double d1 = Orientation(s.x1, s.y1, s.x2, s.y2, t.x1, t.y1);
+  const double d2 = Orientation(s.x1, s.y1, s.x2, s.y2, t.x2, t.y2);
+  const double d3 = Orientation(t.x1, t.y1, t.x2, t.y2, s.x1, s.y1);
+  const double d4 = Orientation(t.x1, t.y1, t.x2, t.y2, s.x2, s.y2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  // Collinear / endpoint-touching cases.
+  if (d1 == 0 && OnSegment(s.x1, s.y1, s.x2, s.y2, t.x1, t.y1)) return true;
+  if (d2 == 0 && OnSegment(s.x1, s.y1, s.x2, s.y2, t.x2, t.y2)) return true;
+  if (d3 == 0 && OnSegment(t.x1, t.y1, t.x2, t.y2, s.x1, s.y1)) return true;
+  if (d4 == 0 && OnSegment(t.x1, t.y1, t.x2, t.y2, s.x2, s.y2)) return true;
+  return false;
+}
+
+}  // namespace sj
+
+#endif  // USJ_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,91 @@
+#include "histogram/grid_histogram.h"
+
+#include <algorithm>
+
+#include "io/stream.h"
+#include "util/logging.h"
+
+namespace sj {
+
+GridHistogram::GridHistogram(const RectF& extent, uint32_t nx, uint32_t ny)
+    : extent_(extent), nx_(std::max(1u, nx)), ny_(std::max(1u, ny)) {
+  cell_w_ = (extent_.xhi - extent_.xlo) / static_cast<float>(nx_);
+  cell_h_ = (extent_.yhi - extent_.ylo) / static_cast<float>(ny_);
+  if (!(cell_w_ > 0.0f)) {
+    nx_ = 1;
+    cell_w_ = 1.0f;
+  }
+  if (!(cell_h_ > 0.0f)) {
+    ny_ = 1;
+    cell_h_ = 1.0f;
+  }
+  cells_.assign(static_cast<size_t>(nx_) * ny_, 0);
+}
+
+Result<GridHistogram> GridHistogram::Build(const StreamRange& input,
+                                           const RectF& extent, uint32_t nx,
+                                           uint32_t ny) {
+  GridHistogram hist(extent, nx, ny);
+  StreamReader<RectF> reader(input.pager, input.first_page, input.count);
+  while (std::optional<RectF> r = reader.Next()) {
+    if (!r->Valid()) {
+      return Status::InvalidArgument("malformed rectangle in histogram input");
+    }
+    hist.Add(*r);
+  }
+  return hist;
+}
+
+void GridHistogram::CellRange(const RectF& r, uint32_t* x0, uint32_t* x1,
+                              uint32_t* y0, uint32_t* y1) const {
+  auto clamp_cell = [](float v, float lo, float w, uint32_t n) -> uint32_t {
+    const float rel = (v - lo) / w;
+    if (!(rel > 0.0f)) return 0;
+    return std::min(static_cast<uint32_t>(rel), n - 1);
+  };
+  *x0 = clamp_cell(r.xlo, extent_.xlo, cell_w_, nx_);
+  *x1 = clamp_cell(r.xhi, extent_.xlo, cell_w_, nx_);
+  *y0 = clamp_cell(r.ylo, extent_.ylo, cell_h_, ny_);
+  *y1 = clamp_cell(r.yhi, extent_.ylo, cell_h_, ny_);
+}
+
+void GridHistogram::Add(const RectF& r) {
+  uint32_t x0, x1, y0, y1;
+  CellRange(r, &x0, &x1, &y0, &y1);
+  for (uint32_t y = y0; y <= y1; ++y) {
+    for (uint32_t x = x0; x <= x1; ++x) {
+      cells_[static_cast<size_t>(y) * nx_ + x]++;
+    }
+  }
+  total_++;
+}
+
+bool GridHistogram::MightIntersect(const RectF& r) const {
+  if (total_ == 0) return false;
+  if (!r.Intersects(extent_)) return false;
+  uint32_t x0, x1, y0, y1;
+  CellRange(r, &x0, &x1, &y0, &y1);
+  for (uint32_t y = y0; y <= y1; ++y) {
+    for (uint32_t x = x0; x <= x1; ++x) {
+      if (cells_[static_cast<size_t>(y) * nx_ + x] != 0) return true;
+    }
+  }
+  return false;
+}
+
+double GridHistogram::EstimateJoinFraction(const GridHistogram& other) const {
+  SJ_CHECK(nx_ == other.nx_ && ny_ == other.ny_)
+      << "histograms must share a grid";
+  if (total_ == 0) return 0.0;
+  // Cell mass is the count of overlapping rectangles, so the sum over
+  // cells exceeds total_ for large objects; normalizing by the full mass
+  // keeps the estimate in [0, 1].
+  double mass = 0.0, joined = 0.0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    mass += static_cast<double>(cells_[i]);
+    if (other.cells_[i] != 0) joined += static_cast<double>(cells_[i]);
+  }
+  return mass > 0.0 ? joined / mass : 0.0;
+}
+
+}  // namespace sj

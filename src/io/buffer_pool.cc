@@ -1,0 +1,47 @@
+#include "io/buffer_pool.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace sj {
+
+BufferPool::BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {
+  SJ_CHECK(capacity_ > 0) << "buffer pool needs at least one frame";
+}
+
+Status BufferPool::Get(Pager* pager, PageId page, void* buf) {
+  stats_.requests++;
+  const FrameKey key = MakeKey(pager, page);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    stats_.hits++;
+    // Move to MRU position.
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    std::memcpy(buf, it->second.data.get(), kPageSize);
+    return Status::OK();
+  }
+  stats_.misses++;
+  SJ_RETURN_IF_ERROR(pager->ReadPage(page, buf));
+  if (frames_.size() >= capacity_) {
+    const FrameKey victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+  Frame frame;
+  frame.data = std::make_unique<uint8_t[]>(kPageSize);
+  std::memcpy(frame.data.get(), buf, kPageSize);
+  lru_.push_front(key);
+  frame.lru_pos = lru_.begin();
+  frames_.emplace(key, std::move(frame));
+  return Status::OK();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace sj

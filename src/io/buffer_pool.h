@@ -1,0 +1,73 @@
+#ifndef USJ_IO_BUFFER_POOL_H_
+#define USJ_IO_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "io/pager.h"
+#include "util/status.h"
+
+namespace sj {
+
+/// Page-replacement statistics. The paper's Table 4 counts "page requests"
+/// for ST as the requests that actually reach the disk, i.e. `misses` here:
+/// on NJ/NY the whole index fits in the 22 MB pool and each page is read at
+/// most once even though the traversal requests it repeatedly.
+struct BufferPoolStats {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// A least-recently-used page cache shared by any number of pagers (ST
+/// keeps the nodes of *both* R-trees in one pool, as in the paper).
+///
+/// Single-threaded by design (the join algorithms are single streams of
+/// control, as in the paper). Get() copies the page into the caller's
+/// buffer, so eviction can never invalidate data a caller still holds.
+class BufferPool {
+ public:
+  /// `capacity_pages` > 0.
+  explicit BufferPool(size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Reads `page` of `pager` through the cache into `buf` (kPageSize
+  /// bytes). `pager` must outlive the pool.
+  Status Get(Pager* pager, PageId page, void* buf);
+
+  /// Drops all cached pages (stats are retained).
+  void Clear();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity_pages() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+
+  /// Capacity corresponding to the paper's 22 MB pool of 8 KB pages.
+  static constexpr size_t kPaperCapacityPages = (22u << 20) / kPageSize;
+
+ private:
+  /// Frames are keyed by (device id, page id): device ids are unique per
+  /// DiskModel and a pool is only ever used with pagers of one model.
+  using FrameKey = uint64_t;
+  static FrameKey MakeKey(const Pager* pager, PageId page) {
+    return (static_cast<uint64_t>(pager->device_id()) << 32) | page;
+  }
+
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    std::list<FrameKey>::iterator lru_pos;
+  };
+
+  size_t capacity_;
+  BufferPoolStats stats_;
+  std::list<FrameKey> lru_;  // Front = most recently used.
+  std::unordered_map<FrameKey, Frame> frames_;
+};
+
+}  // namespace sj
+
+#endif  // USJ_IO_BUFFER_POOL_H_

@@ -1,0 +1,61 @@
+#include "io/pager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sj {
+
+Pager::Pager(std::unique_ptr<StorageBackend> backend, DiskModel* disk,
+             std::string name)
+    : backend_(std::move(backend)),
+      disk_(disk),
+      device_(disk->RegisterDevice(name)),
+      name_(std::move(name)),
+      allocated_(backend_->PageCount()) {}
+
+Status Pager::ReadPage(PageId page, void* buf) {
+  disk_->Read(device_, page, 1);
+  return backend_->ReadPage(page, buf);
+}
+
+Status Pager::ReadRun(PageId first, uint32_t npages, void* buf) {
+  if (npages == 0) return Status::OK();
+  disk_->Read(device_, first, npages);
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  for (uint32_t i = 0; i < npages; ++i) {
+    SJ_RETURN_IF_ERROR(backend_->ReadPage(first + i, out + i * kPageSize));
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId page, const void* buf) {
+  disk_->Write(device_, page, 1);
+  allocated_ = std::max<uint64_t>(allocated_, page + 1);
+  return backend_->WritePage(page, buf);
+}
+
+Status Pager::WriteRun(PageId first, uint32_t npages, const void* buf) {
+  if (npages == 0) return Status::OK();
+  disk_->Write(device_, first, npages);
+  allocated_ = std::max<uint64_t>(allocated_, first + npages);
+  const uint8_t* in = static_cast<const uint8_t*>(buf);
+  for (uint32_t i = 0; i < npages; ++i) {
+    SJ_RETURN_IF_ERROR(backend_->WritePage(first + i, in + i * kPageSize));
+  }
+  return Status::OK();
+}
+
+PageId Pager::Allocate(uint32_t npages) {
+  const uint64_t first = allocated_;
+  allocated_ += npages;
+  SJ_CHECK(allocated_ <= kInvalidPageId) << "pager" << name_ << "overflow";
+  return static_cast<PageId>(first);
+}
+
+std::unique_ptr<Pager> MakeMemoryPager(DiskModel* disk, std::string name) {
+  return std::make_unique<Pager>(std::make_unique<MemoryBackend>(), disk,
+                                 std::move(name));
+}
+
+}  // namespace sj

@@ -1,0 +1,62 @@
+#ifndef USJ_IO_PAGER_H_
+#define USJ_IO_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/disk_model.h"
+#include "io/storage.h"
+#include "util/status.h"
+
+namespace sj {
+
+/// Identifies a page within one Pager (logical file).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// One logical file: a storage backend plus cost accounting on a shared
+/// DiskModel. All algorithm I/O goes through Pagers (directly for index
+/// nodes, via Stream for scans), so every byte moved is charged.
+class Pager {
+ public:
+  /// `disk` must outlive the pager. The pager registers itself as a device.
+  Pager(std::unique_ptr<StorageBackend> backend, DiskModel* disk,
+        std::string name);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Reads one page (a single-page disk request).
+  Status ReadPage(PageId page, void* buf);
+  /// Reads `npages` consecutive pages as one request (streaming).
+  Status ReadRun(PageId first, uint32_t npages, void* buf);
+  /// Writes one page.
+  Status WritePage(PageId page, const void* buf);
+  /// Writes `npages` consecutive pages as one request (streaming).
+  Status WriteRun(PageId first, uint32_t npages, const void* buf);
+
+  /// Reserves `npages` consecutive new pages; returns the first id.
+  PageId Allocate(uint32_t npages);
+
+  /// Pages allocated so far (>= backend page count until they are written).
+  uint64_t page_count() const { return allocated_; }
+
+  DiskModel* disk() const { return disk_; }
+  uint32_t device_id() const { return device_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::unique_ptr<StorageBackend> backend_;
+  DiskModel* disk_;
+  uint32_t device_;
+  std::string name_;
+  uint64_t allocated_ = 0;
+};
+
+/// Convenience factory: a memory-backed pager on `disk`.
+std::unique_ptr<Pager> MakeMemoryPager(DiskModel* disk, std::string name);
+
+}  // namespace sj
+
+#endif  // USJ_IO_PAGER_H_

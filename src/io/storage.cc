@@ -1,0 +1,76 @@
+#include "io/storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sj {
+
+Status MemoryBackend::ReadPage(uint64_t page, void* buf) {
+  if (page >= pages_.size() || pages_[page] == nullptr) {
+    std::memset(buf, 0, kPageSize);
+    return Status::OK();
+  }
+  std::memcpy(buf, pages_[page].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemoryBackend::WritePage(uint64_t page, const void* buf) {
+  if (page >= pages_.size()) pages_.resize(page + 1);
+  if (pages_[page] == nullptr) {
+    pages_[page] = std::make_unique<uint8_t[]>(kPageSize);
+  }
+  std::memcpy(pages_[page].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Status FileBackend::Open(const std::string& path,
+                         std::unique_ptr<FileBackend>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  const uint64_t pages =
+      (static_cast<uint64_t>(st.st_size) + kPageSize - 1) / kPageSize;
+  *out = std::unique_ptr<FileBackend>(new FileBackend(fd, pages));
+  return Status::OK();
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileBackend::ReadPage(uint64_t page, void* buf) {
+  if (page >= page_count_) {
+    std::memset(buf, 0, kPageSize);
+    return Status::OK();
+  }
+  const off_t off = static_cast<off_t>(page * kPageSize);
+  ssize_t n = ::pread(fd_, buf, kPageSize, off);
+  if (n < 0) return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  if (static_cast<size_t>(n) < kPageSize) {
+    // Short read at end of file: the remainder is zero.
+    std::memset(static_cast<uint8_t*>(buf) + n, 0, kPageSize - n);
+  }
+  return Status::OK();
+}
+
+Status FileBackend::WritePage(uint64_t page, const void* buf) {
+  const off_t off = static_cast<off_t>(page * kPageSize);
+  ssize_t n = ::pwrite(fd_, buf, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  if (page >= page_count_) page_count_ = page + 1;
+  return Status::OK();
+}
+
+}  // namespace sj

@@ -1,0 +1,73 @@
+#ifndef USJ_IO_STORAGE_H_
+#define USJ_IO_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/disk_model.h"
+#include "util/status.h"
+
+namespace sj {
+
+/// Raw page-addressed storage for one logical file. Implementations hold
+/// the actual bytes; cost accounting lives in the Pager/DiskModel layer.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Copies page `page` into `buf` (kPageSize bytes). Reading a page that
+  /// was never written yields zero bytes (sparse semantics).
+  virtual Status ReadPage(uint64_t page, void* buf) = 0;
+
+  /// Writes kPageSize bytes from `buf`; grows the file as needed.
+  virtual Status WritePage(uint64_t page, const void* buf) = 0;
+
+  /// Number of pages the file currently spans.
+  virtual uint64_t PageCount() const = 0;
+};
+
+/// Heap-backed storage. The default for experiments: the simulated
+/// DiskModel provides the timing, so there is no reason to touch the real
+/// disk, and page images stay byte-exact.
+class MemoryBackend : public StorageBackend {
+ public:
+  MemoryBackend() = default;
+
+  Status ReadPage(uint64_t page, void* buf) override;
+  Status WritePage(uint64_t page, const void* buf) override;
+  uint64_t PageCount() const override { return pages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+/// File-backed storage via pread/pwrite, for datasets larger than RAM or
+/// for persisting generated inputs between runs.
+class FileBackend : public StorageBackend {
+ public:
+  /// Opens (creating if necessary) `path` for read/write.
+  static Status Open(const std::string& path,
+                     std::unique_ptr<FileBackend>* out);
+
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  Status ReadPage(uint64_t page, void* buf) override;
+  Status WritePage(uint64_t page, const void* buf) override;
+  uint64_t PageCount() const override { return page_count_; }
+
+ private:
+  FileBackend(int fd, uint64_t page_count)
+      : fd_(fd), page_count_(page_count) {}
+
+  int fd_;
+  uint64_t page_count_;
+};
+
+}  // namespace sj
+
+#endif  // USJ_IO_STORAGE_H_

@@ -1,0 +1,37 @@
+#ifndef USJ_JOIN_ENTRY_SWEEP_H_
+#define USJ_JOIN_ENTRY_SWEEP_H_
+
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace sj {
+
+/// Forward sweep along x over two xlo-sorted entry lists; calls
+/// `emit(const RectF&, const RectF&)` for every pair overlapping in both
+/// axes, each pair exactly once. This is the per-node-pair pairing step
+/// of ST and BFS (Brinkhoff et al.'s restriction + sweep).
+template <typename Emit>
+void SweepEntryLists(const std::vector<RectF>& as, const std::vector<RectF>& bs,
+                     Emit&& emit) {
+  size_t i = 0, j = 0;
+  while (i < as.size() && j < bs.size()) {
+    if (as[i].xlo < bs[j].xlo) {
+      const RectF& a = as[i];
+      for (size_t k = j; k < bs.size() && bs[k].xlo <= a.xhi; ++k) {
+        if (a.ylo <= bs[k].yhi && bs[k].ylo <= a.yhi) emit(a, bs[k]);
+      }
+      i++;
+    } else {
+      const RectF& b = bs[j];
+      for (size_t k = i; k < as.size() && as[k].xlo <= b.xhi; ++k) {
+        if (b.ylo <= as[k].yhi && as[k].ylo <= b.yhi) emit(as[k], b);
+      }
+      j++;
+    }
+  }
+}
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_ENTRY_SWEEP_H_

@@ -1,0 +1,29 @@
+#include "join/join_types.h"
+
+namespace sj {
+
+Result<RectF> EnsureExtent(const DatasetRef& input) {
+  if (input.extent.Valid()) return input.extent;
+  StreamReader<RectF> reader(input.range.pager, input.range.first_page,
+                             input.range.count);
+  RectF extent = RectF::Empty();
+  while (std::optional<RectF> r = reader.Next()) {
+    if (!r->Valid()) {
+      return Status::InvalidArgument("malformed rectangle in join input: " +
+                                     r->ToString());
+    }
+    extent.ExtendTo(*r);
+  }
+  extent.id = 0;
+  return extent;
+}
+
+Result<RectF> CombinedExtent(const DatasetRef& a, const DatasetRef& b) {
+  SJ_ASSIGN_OR_RETURN(RectF ea, EnsureExtent(a));
+  SJ_ASSIGN_OR_RETURN(RectF eb, EnsureExtent(b));
+  RectF both = ea;
+  both.ExtendTo(eb);
+  return both;
+}
+
+}  // namespace sj

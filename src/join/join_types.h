@@ -1,0 +1,176 @@
+#ifndef USJ_JOIN_JOIN_TYPES_H_
+#define USJ_JOIN_JOIN_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "io/buffer_pool.h"
+#include "io/disk_model.h"
+#include "io/stream.h"
+#include "sort/external_sort.h"
+#include "sweep/interval_structures.h"
+#include "util/timer.h"
+
+namespace sj {
+
+/// A non-indexed input relation: a stream of MBR records plus its spatial
+/// extent. If `extent` is invalid (RectF::Empty()), algorithms that need
+/// it compute it with an extra scan.
+struct DatasetRef {
+  StreamRange range;
+  RectF extent = RectF::Empty();
+  uint64_t count() const { return range.count; }
+};
+
+/// Knobs shared by all join algorithms (paper defaults).
+struct JoinOptions {
+  /// Internal memory available to an algorithm (the paper's machines had
+  /// 24 MB free; ST gives 22 MB of it to the buffer pool).
+  size_t memory_bytes = 24u << 20;
+  /// LRU pool capacity for ST, in pages (22 MB of 8 KB pages).
+  size_t buffer_pool_pages = BufferPool::kPaperCapacityPages;
+  /// Interval structure for the streaming sweeps (SSSJ, PQ). The paper
+  /// uses Striped-Sweep here.
+  SweepStructureKind stream_sweep = SweepStructureKind::kStriped;
+  /// Interval structure for PBSM's per-partition sweeps. The paper follows
+  /// Patel & DeWitt and uses Forward-Sweep.
+  SweepStructureKind partition_sweep = SweepStructureKind::kForward;
+  /// Strips for Striped-Sweep.
+  uint32_t striped_strips = 1024;
+  /// PBSM tile grid (the paper raised Patel & DeWitt's 32x32 to 128x128 to
+  /// avoid overfull partitions).
+  uint32_t pbsm_tiles_per_axis = 128;
+  /// SSSJ ablation: when true the merge phase of the final sort feeds the
+  /// sweep directly instead of materializing the sorted stream, saving one
+  /// write and one read pass over each input.
+  bool fuse_merge_sweep = false;
+};
+
+/// Everything measured about one join execution.
+///
+/// I/O counters are deltas of the experiment's DiskModel, so they cover
+/// exactly the algorithm's own work. CPU is host-thread CPU time; the
+/// MachineModel's slowdown converts it to modeled 1999-hardware seconds.
+struct JoinStats {
+  uint64_t output_count = 0;
+  double host_cpu_seconds = 0.0;
+  DiskStats disk;
+  /// Pages read from the index devices (Table 4's "page requests"; for ST
+  /// these are buffer-pool misses, PQ has no pool).
+  uint64_t index_pages_read = 0;
+  /// ST buffer-pool behaviour.
+  uint64_t pool_requests = 0;
+  uint64_t pool_hits = 0;
+  /// Maxima of the in-memory data structures (Table 3).
+  size_t max_sweep_bytes = 0;
+  size_t max_queue_bytes = 0;
+  /// PBSM partitioning behaviour (ablation: tile-count sensitivity).
+  uint32_t partitions_total = 0;
+  uint32_t partitions_overflowed = 0;
+  size_t max_partition_bytes = 0;
+
+  /// The classic cost estimate (Figure 2(a)-(c)): every page read priced
+  /// as a random single-page access, plus scaled CPU.
+  double EstimatedSeconds(const MachineModel& m) const {
+    const double page_s =
+        (m.avg_access_ms + m.PageTransferMs(kPageSize)) * 1e-3;
+    return static_cast<double>(disk.pages_read) * page_s +
+           host_cpu_seconds * m.cpu_slowdown;
+  }
+  /// Estimated I/O component alone.
+  double EstimatedIoSeconds(const MachineModel& m) const {
+    const double page_s =
+        (m.avg_access_ms + m.PageTransferMs(kPageSize)) * 1e-3;
+    return static_cast<double>(disk.pages_read) * page_s;
+  }
+  /// The modeled "observed" time (Figure 2(d)-(f), Figure 3): the
+  /// DiskModel's sequential/random-aware time plus scaled CPU.
+  double ObservedSeconds(const MachineModel& m) const {
+    return disk.io_seconds + host_cpu_seconds * m.cpu_slowdown;
+  }
+  double ObservedIoSeconds() const { return disk.io_seconds; }
+  double ScaledCpuSeconds(const MachineModel& m) const {
+    return host_cpu_seconds * m.cpu_slowdown;
+  }
+};
+
+/// Consumer of join output pairs. Pair order is (id from input A, id from
+/// input B).
+class JoinSink {
+ public:
+  virtual ~JoinSink() = default;
+  virtual void Emit(ObjectId a, ObjectId b) = 0;
+};
+
+/// Counts results without storing them (the paper's joins exclude output
+/// materialization from the measured cost).
+class CountingSink final : public JoinSink {
+ public:
+  void Emit(ObjectId, ObjectId) override { count_++; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Collects results in memory (tests, small joins).
+class CollectingSink final : public JoinSink {
+ public:
+  void Emit(ObjectId a, ObjectId b) override { pairs_.push_back({a, b}); }
+  const std::vector<IdPair>& pairs() const { return pairs_; }
+  std::vector<IdPair>& mutable_pairs() { return pairs_; }
+
+ private:
+  std::vector<IdPair> pairs_;
+};
+
+/// Writes results as an IdPair stream (charged output I/O).
+class StreamSink final : public JoinSink {
+ public:
+  explicit StreamSink(Pager* pager) : pager_(pager), writer_(pager) {}
+
+  void Emit(ObjectId a, ObjectId b) override { writer_.Append({a, b}); }
+
+  /// Flushes and returns the written range.
+  Result<StreamRange> Finish() {
+    const PageId first = writer_.first_page();
+    SJ_ASSIGN_OR_RETURN(uint64_t n, writer_.Finish());
+    return StreamRange{pager_, first, n};
+  }
+
+ private:
+  Pager* pager_ = nullptr;
+  StreamWriter<IdPair> writer_;
+};
+
+/// RAII measurement scope: snapshots the disk stats and CPU clock, and
+/// fills a JoinStats with the deltas on Finish().
+class JoinMeasurement {
+ public:
+  explicit JoinMeasurement(DiskModel* disk)
+      : disk_(disk), start_disk_(disk->stats()) {}
+
+  JoinStats Finish() {
+    JoinStats stats;
+    stats.host_cpu_seconds = cpu_.Elapsed();
+    stats.disk = disk_->stats() - start_disk_;
+    return stats;
+  }
+
+ private:
+  DiskModel* disk_;
+  DiskStats start_disk_;
+  ThreadCpuTimer cpu_;
+};
+
+/// Computes the extent of a dataset if its descriptor lacks one (extra
+/// scan, charged).
+Result<RectF> EnsureExtent(const DatasetRef& input);
+
+/// Extent spanning both inputs (the sweep/striping domain).
+Result<RectF> CombinedExtent(const DatasetRef& a, const DatasetRef& b);
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_JOIN_TYPES_H_

@@ -1,0 +1,151 @@
+#include "join/multiway.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "sweep/sweep_join.h"
+#include "util/logging.h"
+
+namespace sj {
+namespace {
+
+template <typename Structure>
+class PairSourceImpl final : public PairSourceBase {
+ public:
+  PairSourceImpl(SortedRectSource* a, SortedRectSource* b, const RectF& extent,
+                 uint32_t strips)
+      : a_(a),
+        b_(b),
+        active_a_(extent, strips),
+        active_b_(extent, strips) {
+    head_a_ = a_->Next();
+    head_b_ = b_->Next();
+  }
+
+  std::optional<RectF> Next() override {
+    while (pending_.empty() &&
+           (head_a_.has_value() || head_b_.has_value())) {
+      Step();
+    }
+    if (pending_.empty()) return std::nullopt;
+    RectF out = pending_.front();
+    pending_.pop_front();
+    return out;
+  }
+
+  size_t MemoryBytes() const override {
+    return a_->MemoryBytes() + b_->MemoryBytes() + active_a_.MemoryBytes() +
+           active_b_.MemoryBytes() + pending_.size() * sizeof(RectF) +
+           pairs_.size() * sizeof(IdPair);
+  }
+
+  const std::vector<IdPair>& pairs() const override { return pairs_; }
+
+ private:
+  void Step() {
+    const bool take_a = head_a_.has_value() &&
+                        (!head_b_.has_value() || head_a_->ylo <= head_b_->ylo);
+    if (take_a) {
+      const RectF r = *head_a_;
+      active_b_.QueryAndExpire(r, [&](const RectF& other) { Found(r, other); });
+      active_a_.Insert(r);
+      head_a_ = a_->Next();
+    } else {
+      const RectF r = *head_b_;
+      active_a_.QueryAndExpire(r, [&](const RectF& other) { Found(other, r); });
+      active_b_.Insert(r);
+      head_b_ = b_->Next();
+    }
+  }
+
+  void Found(const RectF& from_a, const RectF& from_b) {
+    RectF overlap = from_a.IntersectionWith(from_b);
+    overlap.id = static_cast<ObjectId>(pairs_.size());
+    pairs_.push_back(IdPair{from_a.id, from_b.id});
+    pending_.push_back(overlap);
+  }
+
+  SortedRectSource* a_;
+  SortedRectSource* b_;
+  Structure active_a_;
+  Structure active_b_;
+  std::optional<RectF> head_a_;
+  std::optional<RectF> head_b_;
+  std::deque<RectF> pending_;
+  std::vector<IdPair> pairs_;
+};
+
+}  // namespace
+
+std::unique_ptr<PairSourceBase> MakePairSource(SortedRectSource* a,
+                                               SortedRectSource* b,
+                                               SweepStructureKind kind,
+                                               const RectF& extent,
+                                               uint32_t strips) {
+  if (kind == SweepStructureKind::kStriped) {
+    return std::make_unique<PairSourceImpl<StripedSweep>>(a, b, extent,
+                                                          strips);
+  }
+  return std::make_unique<PairSourceImpl<ForwardSweep>>(a, b, extent, strips);
+}
+
+Result<MultiwayStats> MultiwayJoinSources(
+    const std::vector<SortedRectSource*>& inputs, const RectF& extent,
+    DiskModel* disk, const JoinOptions& options, TupleSink* sink) {
+  if (inputs.size() < 2) {
+    return Status::InvalidArgument("multiway join needs at least 2 inputs");
+  }
+  JoinMeasurement measurement(disk);
+
+  // Left-deep chain: ((in0 x in1) x in2) x ...; all but the last stage are
+  // lazy pair sources.
+  std::vector<std::unique_ptr<PairSourceBase>> chain;
+  SortedRectSource* left = inputs[0];
+  for (size_t i = 1; i + 1 < inputs.size(); ++i) {
+    chain.push_back(MakePairSource(left, inputs[i], options.stream_sweep,
+                                   extent, options.striped_strips));
+    left = chain.back().get();
+  }
+  SortedRectSource* right = inputs.back();
+
+  // Expands a composite id from chain stage `depth` (0 = raw input 0).
+  std::vector<ObjectId> tuple;
+  auto expand = [&](auto&& self, size_t depth, ObjectId id) -> void {
+    if (depth == 0) {
+      tuple.push_back(id);
+      return;
+    }
+    const IdPair& p = chain[depth - 1]->pairs()[id];
+    self(self, depth - 1, p.a);
+    tuple.push_back(p.b);
+  };
+
+  uint64_t output = 0;
+  size_t max_bytes = 0;
+  auto emit = [&](const RectF& ra, const RectF& rb) {
+    tuple.clear();
+    expand(expand, chain.size(), ra.id);
+    tuple.push_back(rb.id);
+    sink->Emit(tuple);
+    output++;
+  };
+  struct Adapter {
+    SortedRectSource* s;
+    std::optional<RectF> Next() { return s->Next(); }
+  } sa{left}, sb{right};
+  auto probe = [&]() {
+    max_bytes = std::max(max_bytes, left->MemoryBytes() + right->MemoryBytes());
+  };
+  SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips, sa,
+                    sb, emit, probe);
+
+  MultiwayStats stats;
+  const JoinStats base = measurement.Finish();
+  stats.host_cpu_seconds = base.host_cpu_seconds;
+  stats.disk = base.disk;
+  stats.output_count = output;
+  stats.max_bytes = max_bytes;
+  return stats;
+}
+
+}  // namespace sj

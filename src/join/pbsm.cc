@@ -1,0 +1,211 @@
+#include "join/pbsm.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sort/external_sort.h"
+#include "sweep/sweep_join.h"
+
+namespace sj {
+namespace {
+
+/// Tile geometry plus the round-robin tile -> partition map.
+class TileGrid {
+ public:
+  TileGrid(const RectF& extent, uint32_t tiles_per_axis, uint32_t partitions)
+      : extent_(extent),
+        tiles_(std::max(1u, tiles_per_axis)),
+        partitions_(std::max(1u, partitions)) {
+    tile_w_ = (extent.xhi - extent.xlo) / static_cast<float>(tiles_);
+    tile_h_ = (extent.yhi - extent.ylo) / static_cast<float>(tiles_);
+    if (!(tile_w_ > 0.0f)) tile_w_ = 1.0f;
+    if (!(tile_h_ > 0.0f)) tile_h_ = 1.0f;
+  }
+
+  uint32_t TileX(float x) const { return Clamp((x - extent_.xlo) / tile_w_); }
+  uint32_t TileY(float y) const { return Clamp((y - extent_.ylo) / tile_h_); }
+
+  uint32_t PartitionOfTile(uint32_t tx, uint32_t ty) const {
+    return (ty * tiles_ + tx) % partitions_;  // Row-major round-robin.
+  }
+
+  /// Appends the distinct partitions overlapping `r` to `out` (cleared
+  /// first).
+  void PartitionsOf(const RectF& r, std::vector<uint32_t>* out) const {
+    out->clear();
+    const uint32_t x0 = TileX(r.xlo), x1 = TileX(r.xhi);
+    const uint32_t y0 = TileY(r.ylo), y1 = TileY(r.yhi);
+    const uint64_t span = static_cast<uint64_t>(x1 - x0 + 1) * (y1 - y0 + 1);
+    if (span >= partitions_) {
+      // A rectangle covering >= p tiles in a row-major round-robin grid
+      // can touch every partition; enumerate them all.
+      for (uint32_t p = 0; p < partitions_; ++p) out->push_back(p);
+      return;
+    }
+    for (uint32_t ty = y0; ty <= y1; ++ty) {
+      for (uint32_t tx = x0; tx <= x1; ++tx) {
+        const uint32_t p = PartitionOfTile(tx, ty);
+        if (std::find(out->begin(), out->end(), p) == out->end()) {
+          out->push_back(p);
+        }
+      }
+    }
+  }
+
+  /// The partition owning the reference point of the pair (r, s): the
+  /// lower-left corner of the intersection.
+  uint32_t ReferencePartition(const RectF& r, const RectF& s) const {
+    const float rx = std::max(r.xlo, s.xlo);
+    const float ry = std::max(r.ylo, s.ylo);
+    return PartitionOfTile(TileX(rx), TileY(ry));
+  }
+
+ private:
+  uint32_t Clamp(float rel) const {
+    if (!(rel > 0.0f)) return 0;
+    return std::min(static_cast<uint32_t>(rel), tiles_ - 1);
+  }
+
+  RectF extent_;
+  uint32_t tiles_;
+  uint32_t partitions_;
+  float tile_w_;
+  float tile_h_;
+};
+
+/// One side of one partition: its own device plus an open writer.
+struct PartitionFile {
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<StreamWriter<RectF>> writer;
+  StreamRange range;
+};
+
+// Small write blocks: one writer stays open per partition and side, so
+// 512 KB blocks would blow the memory budget for large partition counts.
+constexpr uint32_t kPartitionWriterBlockPages = 4;
+
+Status DistributeInput(const DatasetRef& input, const TileGrid& grid,
+                       std::vector<PartitionFile>* files) {
+  StreamReader<RectF> reader(input.range.pager, input.range.first_page,
+                             input.range.count);
+  std::vector<uint32_t> parts;
+  while (std::optional<RectF> r = reader.Next()) {
+    grid.PartitionsOf(*r, &parts);
+    for (uint32_t p : parts) (*files)[p].writer->Append(*r);
+  }
+  for (PartitionFile& f : *files) {
+    const PageId first = f.writer->first_page();
+    SJ_ASSIGN_OR_RETURN(uint64_t n, f.writer->Finish());
+    f.range = StreamRange{f.pager.get(), first, n};
+    f.writer.reset();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PartitionFile>> MakePartitionFiles(DiskModel* disk,
+                                                      const char* side,
+                                                      uint32_t p) {
+  std::vector<PartitionFile> files(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    files[i].pager =
+        MakeMemoryPager(disk, std::string("pbsm.") + side + "." +
+                                  std::to_string(i));
+    files[i].writer = std::make_unique<StreamWriter<RectF>>(
+        files[i].pager.get(), kPartitionWriterBlockPages);
+  }
+  return files;
+}
+
+Result<std::vector<RectF>> ReadAll(const StreamRange& range) {
+  std::vector<RectF> out;
+  out.reserve(range.count);
+  StreamReader<RectF> reader(range.pager, range.first_page, range.count);
+  while (std::optional<RectF> r = reader.Next()) out.push_back(*r);
+  return out;
+}
+
+}  // namespace
+
+Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
+                           DiskModel* disk, const JoinOptions& options,
+                           JoinSink* sink) {
+  JoinMeasurement measurement(disk);
+  SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
+
+  // Choose p so that an average partition pair fits comfortably in memory.
+  const uint64_t total_bytes = (a.count() + b.count()) * sizeof(RectF);
+  const uint32_t p = static_cast<uint32_t>(std::max<uint64_t>(
+      1, (total_bytes + options.memory_bytes * 4 / 5 - 1) /
+             (options.memory_bytes * 4 / 5)));
+  const TileGrid grid(extent, options.pbsm_tiles_per_axis, p);
+
+  // Phase 1: distribute both inputs into partition files.
+  SJ_ASSIGN_OR_RETURN(std::vector<PartitionFile> files_a,
+                      MakePartitionFiles(disk, "a", p));
+  SJ_ASSIGN_OR_RETURN(std::vector<PartitionFile> files_b,
+                      MakePartitionFiles(disk, "b", p));
+  SJ_RETURN_IF_ERROR(DistributeInput(a, grid, &files_a));
+  SJ_RETURN_IF_ERROR(DistributeInput(b, grid, &files_b));
+
+  // Phase 2: join each partition with a plane sweep, suppressing
+  // cross-partition duplicates via the reference-point test.
+  uint64_t output = 0;
+  size_t max_sweep = 0;
+  size_t max_partition_bytes = 0;
+  uint32_t overflowed = 0;
+  for (uint32_t i = 0; i < p; ++i) {
+    auto emit = [&](const RectF& ra, const RectF& rb) {
+      if (grid.ReferencePartition(ra, rb) == i) {
+        sink->Emit(ra.id, rb.id);
+        output++;
+      }
+    };
+    SweepRunStats sweep_stats;
+    const uint64_t part_bytes =
+        (files_a[i].range.count + files_b[i].range.count) * sizeof(RectF);
+    max_partition_bytes = std::max<size_t>(max_partition_bytes, part_bytes);
+    if (part_bytes <= options.memory_bytes) {
+      SJ_ASSIGN_OR_RETURN(std::vector<RectF> ra, ReadAll(files_a[i].range));
+      SJ_ASSIGN_OR_RETURN(std::vector<RectF> rb, ReadAll(files_b[i].range));
+      std::sort(ra.begin(), ra.end(), OrderByYLo());
+      std::sort(rb.begin(), rb.end(), OrderByYLo());
+      VectorRectSource sa(&ra), sb(&rb);
+      sweep_stats = SweepJoinWithKind(options.partition_sweep, extent,
+                                      options.striped_strips, sa, sb, emit);
+      // The deduplicating sweep may double-count in sweep_stats; `output`
+      // above is authoritative.
+    } else {
+      // Overflow fallback: external sort this partition and sweep the
+      // sorted streams.
+      overflowed++;
+      auto scratch = MakeMemoryPager(disk, "pbsm.overflow." + std::to_string(i));
+      SJ_ASSIGN_OR_RETURN(
+          StreamRange sa_range,
+          SortRectsByYLo(files_a[i].range, scratch.get(), scratch.get(),
+                         options.memory_bytes / 2));
+      SJ_ASSIGN_OR_RETURN(
+          StreamRange sb_range,
+          SortRectsByYLo(files_b[i].range, scratch.get(), scratch.get(),
+                         options.memory_bytes / 2));
+      StreamReader<RectF> reader_a(sa_range.pager, sa_range.first_page,
+                                   sa_range.count);
+      StreamReader<RectF> reader_b(sb_range.pager, sb_range.first_page,
+                                   sb_range.count);
+      sweep_stats =
+          SweepJoinWithKind(options.partition_sweep, extent,
+                            options.striped_strips, reader_a, reader_b, emit);
+    }
+    max_sweep = std::max(max_sweep, sweep_stats.max_structure_bytes);
+  }
+
+  JoinStats stats = measurement.Finish();
+  stats.output_count = output;
+  stats.max_sweep_bytes = max_sweep;
+  stats.partitions_total = p;
+  stats.partitions_overflowed = overflowed;
+  stats.max_partition_bytes = max_partition_bytes;
+  return stats;
+}
+
+}  // namespace sj

@@ -1,0 +1,33 @@
+#ifndef USJ_JOIN_PBSM_H_
+#define USJ_JOIN_PBSM_H_
+
+#include "io/disk_model.h"
+#include "join/join_types.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// Partition-Based Spatial Merge Join (Patel & DeWitt, SIGMOD'96) — §3.2.
+///
+/// The space is cut into `pbsm_tiles_per_axis`^2 tiles, tiles are assigned
+/// round-robin (in row-major order) to p partitions where p is chosen so a
+/// partition pair fits in memory, and each rectangle is replicated into
+/// every partition one of its tiles maps to. Each partition is then joined
+/// in memory with a plane sweep (Forward-Sweep, following the original).
+///
+/// Duplicate suppression uses the reference-point method: a pair (r, s) is
+/// reported only in the partition owning the tile that contains the lower
+/// corner of r ∩ s, which both r and s necessarily overlap — so the output
+/// is exact and duplicate free.
+///
+/// A partition whose contents exceed the memory budget (clustered data)
+/// falls back to an external sort + streaming sweep of that partition;
+/// the paper instead tuned the tile count (32^2 -> 128^2) to make
+/// overflows rare, which bench_ablation_pbsm_tiles reproduces.
+Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
+                           DiskModel* disk, const JoinOptions& options,
+                           JoinSink* sink);
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_PBSM_H_

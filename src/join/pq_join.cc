@@ -1,0 +1,83 @@
+#include "join/pq_join.h"
+
+#include <algorithm>
+
+#include "sort/external_sort.h"
+#include "sweep/sweep_join.h"
+
+namespace sj {
+namespace {
+
+/// Adapter so the sweep templates can pull from a SortedRectSource*.
+struct SourceAdapter {
+  SortedRectSource* source;
+  std::optional<RectF> Next() { return source->Next(); }
+};
+
+}  // namespace
+
+Result<JoinStats> PQJoinSources(SortedRectSource* a, SortedRectSource* b,
+                                const RectF& extent, DiskModel* disk,
+                                const JoinOptions& options, JoinSink* sink) {
+  JoinMeasurement measurement(disk);
+  SourceAdapter sa{a}, sb{b};
+  size_t max_queue_bytes = 0;
+  auto emit = [sink](const RectF& ra, const RectF& rb) {
+    sink->Emit(ra.id, rb.id);
+  };
+  auto probe = [&]() {
+    max_queue_bytes =
+        std::max(max_queue_bytes, a->MemoryBytes() + b->MemoryBytes());
+  };
+  const SweepRunStats sweep_stats = SweepJoinWithKind(
+      options.stream_sweep, extent, options.striped_strips, sa, sb, emit,
+      probe);
+  SJ_CHECK(sweep_stats.max_structure_bytes + max_queue_bytes <=
+           options.memory_bytes)
+      << "PQ data structures exceeded memory; an external priority queue "
+         "([2,9]) would be required for this input";
+
+  JoinStats stats = measurement.Finish();
+  stats.output_count = sweep_stats.output_count;
+  stats.max_sweep_bytes = sweep_stats.max_structure_bytes;
+  stats.max_queue_bytes = max_queue_bytes;
+  return stats;
+}
+
+Result<JoinStats> PQJoin(const RTree& a, const RTree& b, DiskModel* disk,
+                         const JoinOptions& options, JoinSink* sink) {
+  RTreePQSource source_a(&a);
+  RTreePQSource source_b(&b);
+  RectF extent = a.bounding_box();
+  extent.ExtendTo(b.bounding_box());
+  SJ_ASSIGN_OR_RETURN(
+      JoinStats stats,
+      PQJoinSources(&source_a, &source_b, extent, disk, options, sink));
+  stats.index_pages_read = source_a.pages_read() + source_b.pages_read();
+  return stats;
+}
+
+Result<JoinStats> PQJoinIndexStream(const RTree& a, const DatasetRef& b,
+                                    DiskModel* disk,
+                                    const JoinOptions& options,
+                                    JoinSink* sink) {
+  // Sort the non-indexed side (charged), as SSSJ would.
+  auto scratch = MakeMemoryPager(disk, "pq.sort.runs");
+  auto sorted = MakeMemoryPager(disk, "pq.sort.out");
+  SJ_ASSIGN_OR_RETURN(
+      StreamRange sorted_b,
+      SortRectsByYLo(b.range, scratch.get(), sorted.get(),
+                     options.memory_bytes / 2));
+  RTreePQSource source_a(&a);
+  SortedStreamSource source_b(sorted_b);
+  SJ_ASSIGN_OR_RETURN(RectF extent_b, EnsureExtent(b));
+  RectF extent = a.bounding_box();
+  extent.ExtendTo(extent_b);
+  SJ_ASSIGN_OR_RETURN(
+      JoinStats stats,
+      PQJoinSources(&source_a, &source_b, extent, disk, options, sink));
+  stats.index_pages_read = source_a.pages_read();
+  return stats;
+}
+
+}  // namespace sj

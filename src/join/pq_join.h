@@ -1,0 +1,41 @@
+#ifndef USJ_JOIN_PQ_JOIN_H_
+#define USJ_JOIN_PQ_JOIN_H_
+
+#include "io/disk_model.h"
+#include "join/join_types.h"
+#include "join/sources.h"
+#include "rtree/rtree.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// Priority-Queue-Driven Traversal join (the paper's contribution, §4).
+///
+/// Both inputs arrive as y-sorted rectangle sources — a sorted stream for
+/// non-indexed inputs, an RTreePQSource for indexed ones — and are merged
+/// by the same plane sweep SSSJ uses (Striped-Sweep by default). Because
+/// the index adapter touches every R-tree node at most once, an unpruned
+/// PQ join issues exactly `node_count` page requests per index: the
+/// paper's "optimal" number (Table 4).
+///
+/// `extent` is the sweep domain (union of both inputs' extents);
+/// `max_queue_bytes` in the returned stats is the sampled maximum of the
+/// adapters' priority queues plus leaf buffers (Table 3).
+Result<JoinStats> PQJoinSources(SortedRectSource* a, SortedRectSource* b,
+                                const RectF& extent, DiskModel* disk,
+                                const JoinOptions& options, JoinSink* sink);
+
+/// Convenience wrapper: index-to-index PQ join.
+Result<JoinStats> PQJoin(const RTree& a, const RTree& b, DiskModel* disk,
+                         const JoinOptions& options, JoinSink* sink);
+
+/// Convenience wrapper: index-to-non-indexed PQ join. The stream input is
+/// externally sorted first (charged), exactly as SSSJ would.
+Result<JoinStats> PQJoinIndexStream(const RTree& a, const DatasetRef& b,
+                                    DiskModel* disk,
+                                    const JoinOptions& options,
+                                    JoinSink* sink);
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_PQ_JOIN_H_

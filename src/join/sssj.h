@@ -1,0 +1,48 @@
+#ifndef USJ_JOIN_SSSJ_H_
+#define USJ_JOIN_SSSJ_H_
+
+#include "io/disk_model.h"
+#include "join/join_types.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// Scalable Sweeping-based Spatial Join (Arge et al., VLDB'98) — §3.1.
+///
+/// Externally sorts both inputs by lower y coordinate, then performs one
+/// plane sweep over the merged sorted streams using the configured
+/// interval structure (Striped-Sweep by default, as in the paper).
+/// Excluding output, this costs two sequential read passes, one
+/// non-sequential read pass (the merge) and two sequential write passes
+/// over the data — all of which the DiskModel charges from the actual
+/// access pattern.
+///
+/// The interval structures are assumed to fit in memory; the paper
+/// verifies this holds by orders of magnitude on real data (Table 3), and
+/// the distribution-sweeping fallback for adversarial inputs is
+/// intentionally out of scope here (it never triggers on any dataset in
+/// the study; SJ_CHECKs guard the assumption).
+///
+/// Temporary runs and sorted streams are held in memory-backed pagers
+/// registered on `disk` (charged like any other file).
+Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
+                           DiskModel* disk, const JoinOptions& options,
+                           JoinSink* sink);
+
+/// The partitioned fallback of SSSJ for adversarial inputs (§3.1's
+/// "partitioning along a single dimension", after Güting & Schilling):
+/// when the interval structures of a single sweep would exceed memory —
+/// which never happens on the paper's real data — the x-extent is split
+/// into `strips` vertical strips, rectangles are distributed (with
+/// replication) to every strip they overlap, and each strip is sorted and
+/// swept independently within the memory budget. Duplicates are
+/// suppressed by reporting a pair only in the strip containing the left
+/// edge of its x-overlap. Costs one extra read+write pass over the data
+/// relative to plain SSSJ.
+Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
+                                uint32_t strips, DiskModel* disk,
+                                const JoinOptions& options, JoinSink* sink);
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_SSSJ_H_

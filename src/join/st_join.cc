@@ -1,0 +1,142 @@
+#include "join/st_join.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "join/entry_sweep.h"
+#include "rtree/node.h"
+
+namespace sj {
+namespace {
+
+class STRunner {
+ public:
+  STRunner(const RTree& a, const RTree& b, const JoinOptions& options,
+           JoinSink* sink)
+      : tree_a_(a),
+        tree_b_(b),
+        pool_(options.buffer_pool_pages),
+        sink_(sink) {}
+
+  Status Run() {
+    if (tree_a_.meta().entry_count == 0 || tree_b_.meta().entry_count == 0) {
+      return Status::OK();
+    }
+    if (!tree_a_.bounding_box().Intersects(tree_b_.bounding_box())) {
+      return Status::OK();
+    }
+    return JoinNodes(tree_a_.root(), tree_a_.bounding_box(),
+                     tree_b_.root(), tree_b_.bounding_box());
+  }
+
+  const BufferPoolStats& pool_stats() const { return pool_.stats(); }
+
+ private:
+  /// Loads the entries of `page` that overlap `window`, sorted by xlo.
+  /// Returns the node level via `level`.
+  Status LoadOverlapping(const RTree& tree, PageId page, const RectF& window,
+                         std::vector<RectF>* out, uint16_t* level) {
+    uint8_t buf[kPageSize];
+    SJ_RETURN_IF_ERROR(pool_.Get(tree.pager(), page, buf));
+    const NodeView node(buf);
+    *level = node.level();
+    out->clear();
+    out->reserve(node.count());
+    for (uint32_t i = 0; i < node.count(); ++i) {
+      const RectF e = node.Entry(i);
+      if (e.Intersects(window)) out->push_back(e);
+    }
+    std::sort(out->begin(), out->end(), OrderByXLo());
+    return Status::OK();
+  }
+
+  Status JoinNodes(PageId page_a, const RectF& mbr_a, PageId page_b,
+                   const RectF& mbr_b) {
+    const RectF window = mbr_a.IntersectionWith(mbr_b);
+    std::vector<RectF> ents_a, ents_b;
+    uint16_t level_a = 0, level_b = 0;
+    SJ_RETURN_IF_ERROR(
+        LoadOverlapping(tree_a_, page_a, window, &ents_a, &level_a));
+    SJ_RETURN_IF_ERROR(
+        LoadOverlapping(tree_b_, page_b, window, &ents_b, &level_b));
+    if (ents_a.empty() || ents_b.empty()) return Status::OK();
+
+    if (level_a == 0 && level_b == 0) {
+      SweepEntryLists(ents_a, ents_b, [this](const RectF& a, const RectF& b) {
+        sink_->Emit(a.id, b.id);
+      });
+      return Status::OK();
+    }
+    if (level_a > 0 && level_b > 0 && level_a == level_b) {
+      // Same level: pair children with the sweep, recurse in sweep order
+      // (which groups pairs sharing a child — the locality ST relies on).
+      std::vector<std::pair<RectF, RectF>> pairs;
+      SweepEntryLists(ents_a, ents_b,
+                      [&pairs](const RectF& a, const RectF& b) {
+                        pairs.emplace_back(a, b);
+                      });
+      for (const auto& [ea, eb] : pairs) {
+        SJ_RETURN_IF_ERROR(JoinNodes(ea.id, ea, eb.id, eb));
+      }
+      return Status::OK();
+    }
+    if (level_a > level_b) {
+      // Descend A only.
+      for (const RectF& ea : ents_a) {
+        if (!ea.Intersects(mbr_b)) continue;
+        SJ_RETURN_IF_ERROR(JoinNodes(ea.id, ea, page_b, mbr_b));
+      }
+      return Status::OK();
+    }
+    // Descend B only.
+    for (const RectF& eb : ents_b) {
+      if (!eb.Intersects(mbr_a)) continue;
+      SJ_RETURN_IF_ERROR(JoinNodes(page_a, mbr_a, eb.id, eb));
+    }
+    return Status::OK();
+  }
+
+  const RTree& tree_a_;
+  const RTree& tree_b_;
+  BufferPool pool_;
+  JoinSink* sink_;
+};
+
+}  // namespace
+
+Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
+                         const JoinOptions& options, JoinSink* sink) {
+  JoinMeasurement measurement(disk);
+  const uint64_t index_reads_before =
+      disk->device_stats()[a.pager()->device_id()].pages_read +
+      disk->device_stats()[b.pager()->device_id()].pages_read;
+
+  CountingSink counter;
+  class TeeSink final : public JoinSink {
+   public:
+    TeeSink(JoinSink* out, CountingSink* count) : out_(out), count_(count) {}
+    void Emit(ObjectId x, ObjectId y) override {
+      out_->Emit(x, y);
+      count_->Emit(x, y);
+    }
+
+   private:
+    JoinSink* out_;
+    CountingSink* count_;
+  } tee(sink, &counter);
+
+  STRunner runner(a, b, options, &tee);
+  SJ_RETURN_IF_ERROR(runner.Run());
+
+  JoinStats stats = measurement.Finish();
+  stats.output_count = counter.count();
+  stats.index_pages_read =
+      disk->device_stats()[a.pager()->device_id()].pages_read +
+      disk->device_stats()[b.pager()->device_id()].pages_read -
+      index_reads_before;
+  stats.pool_requests = runner.pool_stats().requests;
+  stats.pool_hits = runner.pool_stats().hits;
+  return stats;
+}
+
+}  // namespace sj

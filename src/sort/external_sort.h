@@ -1,0 +1,243 @@
+#ifndef USJ_SORT_EXTERNAL_SORT_H_
+#define USJ_SORT_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "io/pager.h"
+#include "io/stream.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// A contiguous run of records within a pager, the unit passed between
+/// sort phases and join inputs.
+struct StreamRange {
+  Pager* pager = nullptr;
+  PageId first_page = 0;
+  uint64_t count = 0;
+};
+
+/// External multiway mergesort, the sorting component of SSSJ and of the
+/// R-tree bulk loader.
+///
+/// Phase 1 (run formation) reads the input in memory-sized chunks,
+/// std::sort's each chunk and writes it as a sorted run (sequential write).
+/// Phase 2 merges up to `MaxFanIn()` runs at a time with a heap; reads
+/// during a merge alternate between runs and are therefore charged as
+/// non-sequential requests — exactly the paper's "one non-sequential read
+/// pass" accounting for SSSJ. For every experiment in the paper one merge
+/// pass suffices; multi-pass merging exists for robustness and is covered
+/// by tests.
+///
+/// T must be trivially copyable; Less must be a strict weak ordering.
+template <typename T, typename Less>
+class ExternalSorter {
+ public:
+  /// `scratch` receives runs; `output` receives the final sorted stream.
+  /// They may be distinct pagers (distinct devices) or the same pager.
+  /// Budgets below 4 pages are clamped up (the merge needs at least two
+  /// input blocks and one output block).
+  ExternalSorter(size_t memory_bytes, Pager* scratch, Less less = Less())
+      : memory_bytes_(std::max(memory_bytes, kPageSize * 4)),
+        scratch_(scratch),
+        less_(less) {
+    // Merge readers use small blocks so that many runs fit in the budget;
+    // with plentiful memory, larger blocks amortize positioning costs.
+    merge_block_pages_ = static_cast<uint32_t>(std::clamp<size_t>(
+        memory_bytes_ / kPageSize / 32, 1, kStreamBlockPages / 8));
+  }
+
+  /// Sorts `input` and writes the result to `output`'s end; returns the
+  /// sorted range.
+  Result<StreamRange> Sort(const StreamRange& input, Pager* output) {
+    std::vector<StreamRange> runs;
+    SJ_RETURN_IF_ERROR(FormRuns(input, &runs));
+    if (runs.empty()) {
+      return StreamRange{output, output->Allocate(0), 0};
+    }
+    // Merge passes until a single run remains; the final pass targets
+    // `output`.
+    while (runs.size() > 1) {
+      const size_t fan_in = MaxFanIn();
+      std::vector<StreamRange> next;
+      for (size_t i = 0; i < runs.size(); i += fan_in) {
+        const size_t k = std::min(fan_in, runs.size() - i);
+        std::vector<StreamRange> group(runs.begin() + i, runs.begin() + i + k);
+        const bool last_pass = runs.size() <= fan_in;
+        Pager* target = last_pass ? output : scratch_;
+        SJ_ASSIGN_OR_RETURN(StreamRange merged, MergeRuns(group, target));
+        next.push_back(merged);
+      }
+      runs = std::move(next);
+    }
+    if (runs.size() == 1 && runs[0].pager != output) {
+      // Single run formed directly in scratch: copy it to output so the
+      // caller owns a range in the pager it asked for.
+      SJ_ASSIGN_OR_RETURN(StreamRange copied, CopyRun(runs[0], output));
+      return copied;
+    }
+    return runs[0];
+  }
+
+  /// Number of runs the merge phase can combine at once: one input block
+  /// per run plus one output block must fit in memory.
+  size_t MaxFanIn() const {
+    const size_t block_bytes = merge_block_pages_ * kPageSize;
+    const size_t blocks = memory_bytes_ / block_bytes;
+    return std::max<size_t>(2, blocks > 0 ? blocks - 1 : 0);
+  }
+
+  /// Pages per merge-reader block (derived from the memory budget).
+  uint32_t merge_block_pages() const { return merge_block_pages_; }
+
+  /// Records per in-memory sorted run.
+  uint64_t RunCapacity() const { return memory_bytes_ / sizeof(T); }
+
+  /// Phase 1 only: forms sorted runs in the scratch pager. Exposed so SSSJ
+  /// can fuse the final merge with its plane sweep (see MergingReader).
+  Status FormRuns(const StreamRange& input, std::vector<StreamRange>* runs) {
+    StreamReader<T> reader(input.pager, input.first_page, input.count);
+    const uint64_t cap = RunCapacity();
+    std::vector<T> chunk;
+    chunk.reserve(std::min<uint64_t>(cap, input.count));
+    while (true) {
+      std::optional<T> rec = reader.Next();
+      if (rec.has_value()) chunk.push_back(*rec);
+      if ((!rec.has_value() && !chunk.empty()) || chunk.size() >= cap) {
+        std::sort(chunk.begin(), chunk.end(), less_);
+        StreamWriter<T> writer(scratch_);
+        const PageId first = writer.first_page();
+        for (const T& t : chunk) writer.Append(t);
+        SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
+        runs->push_back(StreamRange{scratch_, first, n});
+        chunk.clear();
+      }
+      if (!rec.has_value()) break;
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<StreamRange> MergeRuns(const std::vector<StreamRange>& runs,
+                                Pager* output) {
+    struct HeapItem {
+      T value;
+      size_t source;
+    };
+    auto heap_greater = [this](const HeapItem& a, const HeapItem& b) {
+      return less_(b.value, a.value);  // Min-heap.
+    };
+    std::vector<std::unique_ptr<StreamReader<T>>> readers;
+    readers.reserve(runs.size());
+    std::vector<HeapItem> heap;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      readers.push_back(std::make_unique<StreamReader<T>>(
+          runs[i].pager, runs[i].first_page, runs[i].count,
+          merge_block_pages_));
+      std::optional<T> head = readers[i]->Next();
+      if (head.has_value()) heap.push_back(HeapItem{*head, i});
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+    StreamWriter<T> writer(output);
+    const PageId first = writer.first_page();
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      HeapItem item = heap.back();
+      heap.pop_back();
+      writer.Append(item.value);
+      std::optional<T> next = readers[item.source]->Next();
+      if (next.has_value()) {
+        heap.push_back(HeapItem{*next, item.source});
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
+      }
+    }
+    SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
+    return StreamRange{output, first, n};
+  }
+
+  Result<StreamRange> CopyRun(const StreamRange& run, Pager* output) {
+    StreamReader<T> reader(run.pager, run.first_page, run.count);
+    StreamWriter<T> writer(output);
+    const PageId first = writer.first_page();
+    while (std::optional<T> rec = reader.Next()) writer.Append(*rec);
+    SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
+    return StreamRange{output, first, n};
+  }
+
+  size_t memory_bytes_;
+  Pager* scratch_;
+  Less less_;
+  uint32_t merge_block_pages_;
+};
+
+/// Pull-based k-way merge over sorted runs: yields records in sorted order
+/// via Next() without materializing the merged stream.
+///
+/// SSSJ's fuse_merge_sweep option plugs this directly into the plane
+/// sweep, eliminating one write pass and one read pass per input relative
+/// to the paper's materializing implementation.
+template <typename T, typename Less>
+class MergingReader {
+ public:
+  MergingReader(std::vector<StreamRange> runs, uint32_t block_pages,
+                Less less = Less())
+      : less_(less) {
+    readers_.reserve(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      readers_.push_back(std::make_unique<StreamReader<T>>(
+          runs[i].pager, runs[i].first_page, runs[i].count, block_pages));
+      std::optional<T> head = readers_[i]->Next();
+      if (head.has_value()) heap_.push_back(HeapItem{*head, i});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
+  }
+
+  std::optional<T> Next() {
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
+    HeapItem item = heap_.back();
+    heap_.pop_back();
+    std::optional<T> refill = readers_[item.source]->Next();
+    if (refill.has_value()) {
+      heap_.push_back(HeapItem{*refill, item.source});
+      std::push_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
+    }
+    return item.value;
+  }
+
+ private:
+  struct HeapItem {
+    T value;
+    size_t source;
+  };
+  struct HeapGreater {
+    Less less;
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return less(b.value, a.value);
+    }
+  };
+
+  Less less_;
+  std::vector<std::unique_ptr<StreamReader<T>>> readers_;
+  std::vector<HeapItem> heap_;
+};
+
+/// Convenience: sorts RectF records by lower y coordinate (the sweep
+/// order).
+inline Result<StreamRange> SortRectsByYLo(const StreamRange& input,
+                                          Pager* scratch, Pager* output,
+                                          size_t memory_bytes) {
+  ExternalSorter<RectF, OrderByYLo> sorter(memory_bytes, scratch);
+  return sorter.Sort(input, output);
+}
+
+}  // namespace sj
+
+#endif  // USJ_SORT_EXTERNAL_SORT_H_

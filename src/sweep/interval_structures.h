@@ -1,0 +1,175 @@
+#ifndef USJ_SWEEP_INTERVAL_STRUCTURES_H_
+#define USJ_SWEEP_INTERVAL_STRUCTURES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "util/logging.h"
+
+namespace sj {
+
+/// Which interval structure a sweep uses. The paper's implementations use
+/// Forward-Sweep inside PBSM and ST (as the original publications did) and
+/// Striped-Sweep — the fastest structure in the SSSJ study [4] — inside
+/// SSSJ and PQ.
+enum class SweepStructureKind {
+  kForward,
+  kStriped,
+};
+
+inline const char* ToString(SweepStructureKind k) {
+  return k == SweepStructureKind::kForward ? "forward" : "striped";
+}
+
+/// Forward-Sweep interval structure (Brinkhoff et al. / Patel & DeWitt).
+///
+/// The active set is a single array. A query walks the whole array,
+/// compacting away rectangles the sweep line has passed (yhi < sweep y)
+/// and reporting x-overlaps. Insertion is an append. Simple and cache
+/// friendly, but every query pays for the full active set.
+class ForwardSweep {
+ public:
+  /// `extent` is unused (the structure is extent-agnostic); the parameter
+  /// exists so both structures construct uniformly.
+  ForwardSweep(const RectF& extent, uint32_t strips) {
+    (void)extent;
+    (void)strips;
+  }
+  ForwardSweep() : ForwardSweep(RectF(), 0) {}
+
+  void Insert(const RectF& r) {
+    active_.push_back(r);
+    inserts_since_purge_++;
+    // Amortized self-purge: queries against this structure expire entries,
+    // but a long one-sided stretch of input (e.g. a region covered by only
+    // one relation) would otherwise let passed rectangles pile up.
+    if (inserts_since_purge_ > active_.size() / 2 + 64) {
+      size_t keep = 0;
+      for (size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].yhi < r.ylo) continue;
+        active_[keep++] = active_[i];
+      }
+      active_.resize(keep);
+      inserts_since_purge_ = 0;
+    }
+  }
+
+  /// Reports every active rectangle whose x-interval overlaps `q` to
+  /// `emit(const RectF&)`, expiring rectangles with yhi < q.ylo along the
+  /// way. `q.ylo` is the current sweep-line position.
+  template <typename Emit>
+  void QueryAndExpire(const RectF& q, Emit&& emit) {
+    size_t keep = 0;
+    for (size_t i = 0; i < active_.size(); ++i) {
+      const RectF& r = active_[i];
+      if (r.yhi < q.ylo) continue;  // Expired: drop by not keeping.
+      if (keep != i) active_[keep] = r;
+      if (r.IntersectsX(q)) emit(active_[keep]);
+      keep++;
+    }
+    active_.resize(keep);
+  }
+
+  size_t ActiveCount() const { return active_.size(); }
+  size_t MemoryBytes() const { return active_.size() * sizeof(RectF); }
+
+ private:
+  std::vector<RectF> active_;
+  size_t inserts_since_purge_ = 0;
+};
+
+/// Striped-Sweep interval structure (Arge et al. [4]).
+///
+/// The x-extent is divided into equal-width strips; an active rectangle is
+/// stored in every strip its x-interval overlaps, and a query scans only
+/// the strips the query rectangle overlaps. Each overlapping pair is
+/// reported exactly once: in the strip containing the left endpoint of the
+/// x-overlap region. On the paper's data this is 2-5x faster than
+/// Forward-Sweep because queries touch a small fraction of the active set.
+class StripedSweep {
+ public:
+  /// `extent` must span all x-coordinates that will be inserted or
+  /// queried; values outside are clamped to the boundary strips.
+  StripedSweep(const RectF& extent, uint32_t strips)
+      : xlo_(extent.xlo),
+        xhi_(extent.xhi),
+        strips_(std::max<uint32_t>(1, strips)) {
+    width_ = (xhi_ - xlo_) / static_cast<float>(strips_);
+    if (!(width_ > 0.0f)) {
+      strips_ = 1;
+      width_ = 1.0f;
+    }
+    lists_.resize(strips_);
+  }
+
+  void Insert(const RectF& r) {
+    const uint32_t s0 = StripIndex(r.xlo);
+    const uint32_t s1 = StripIndex(r.xhi);
+    for (uint32_t s = s0; s <= s1; ++s) lists_[s].push_back(r);
+    entries_ += s1 - s0 + 1;
+    inserts_since_purge_++;
+    // Amortized cleanup: strips a sweep never queries again would
+    // otherwise retain expired rectangles forever.
+    if (inserts_since_purge_ > entries_ / 2 + 64) Purge(r.ylo);
+  }
+
+  template <typename Emit>
+  void QueryAndExpire(const RectF& q, Emit&& emit) {
+    const uint32_t s0 = StripIndex(q.xlo);
+    const uint32_t s1 = StripIndex(q.xhi);
+    for (uint32_t s = s0; s <= s1; ++s) {
+      std::vector<RectF>& list = lists_[s];
+      size_t keep = 0;
+      for (size_t i = 0; i < list.size(); ++i) {
+        const RectF r = list[i];
+        if (r.yhi < q.ylo) continue;  // Expired.
+        if (keep != i) list[keep] = r;
+        keep++;
+        if (!r.IntersectsX(q)) continue;
+        // Dedup: report only in the strip holding the overlap's left edge.
+        if (StripIndex(std::max(q.xlo, r.xlo)) == s) emit(r);
+      }
+      entries_ -= list.size() - keep;
+      list.resize(keep);
+    }
+  }
+
+  size_t ActiveCount() const { return entries_; }
+  size_t MemoryBytes() const { return entries_ * sizeof(RectF); }
+
+ private:
+  uint32_t StripIndex(float x) const {
+    const float rel = (x - xlo_) / width_;
+    if (!(rel > 0.0f)) return 0;
+    const uint32_t s = static_cast<uint32_t>(rel);
+    return std::min(s, strips_ - 1);
+  }
+
+  void Purge(float y) {
+    for (std::vector<RectF>& list : lists_) {
+      size_t keep = 0;
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i].yhi < y) continue;
+        if (keep != i) list[keep] = list[i];
+        keep++;
+      }
+      entries_ -= list.size() - keep;
+      list.resize(keep);
+    }
+    inserts_since_purge_ = 0;
+  }
+
+  float xlo_;
+  float xhi_;
+  uint32_t strips_;
+  float width_;
+  std::vector<std::vector<RectF>> lists_;
+  size_t entries_ = 0;  // Total stored copies across strips.
+  size_t inserts_since_purge_ = 0;
+};
+
+}  // namespace sj
+
+#endif  // USJ_SWEEP_INTERVAL_STRUCTURES_H_

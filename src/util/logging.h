@@ -1,0 +1,65 @@
+#ifndef USJ_UTIL_LOGGING_H_
+#define USJ_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sj {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used as the right-hand side of the SJ_CHECK macros.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lower precedence than <<, so the streaming happens first.
+  void operator&&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace sj
+
+/// Aborts with a message when `cond` is false. Enabled in all build modes:
+/// invariant violations in a storage engine must never be silently ignored.
+#define SJ_CHECK(cond)                                          \
+  (cond) ? (void)0                                              \
+         : ::sj::internal_logging::Voidify{} &&                 \
+               ::sj::internal_logging::CheckFailureStream(      \
+                   "SJ_CHECK", __FILE__, __LINE__, #cond)
+
+#define SJ_CHECK_OK(status_expr)                                         \
+  do {                                                                   \
+    const ::sj::Status sj_check_ok_s_ = (status_expr);                   \
+    SJ_CHECK(sj_check_ok_s_.ok()) << sj_check_ok_s_.ToString();          \
+  } while (0)
+
+/// Debug-only check; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define SJ_DCHECK(cond) SJ_CHECK(true)
+#else
+#define SJ_DCHECK(cond) SJ_CHECK(cond)
+#endif
+
+#endif  // USJ_UTIL_LOGGING_H_

@@ -1,0 +1,73 @@
+#ifndef USJ_UTIL_RANDOM_H_
+#define USJ_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace sj {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// All data generators and randomized tests use this generator so that every
+/// experiment in the repository is exactly reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four-word state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  double UniformDouble(double lo, double hi) {
+    // 53 random mantissa bits -> [0,1).
+    double unit = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant here).
+  double Normal() {
+    double u1 = UniformDouble(1e-12, 1.0);
+    double u2 = UniformDouble(0.0, 1.0);
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool OneIn(double p) { return UniformDouble(0.0, 1.0) < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sj
+
+#endif  // USJ_UTIL_RANDOM_H_

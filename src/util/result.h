@@ -1,0 +1,69 @@
+#ifndef USJ_UTIL_RESULT_H_
+#define USJ_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace sj {
+
+/// A value-or-error union, i.e. a minimal StatusOr.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of a non-OK Result aborts (programming error), so callers must
+/// check ok() (or use SJ_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::IoError(...)` works.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SJ_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SJ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SJ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SJ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ is engaged.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define SJ_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SJ_ASSIGN_OR_RETURN_IMPL_(                         \
+      SJ_MACRO_CONCAT_(sj_result_tmp_, __LINE__), lhs, rexpr)
+
+#define SJ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SJ_MACRO_CONCAT_INNER_(a, b) a##b
+#define SJ_MACRO_CONCAT_(a, b) SJ_MACRO_CONCAT_INNER_(a, b)
+
+}  // namespace sj
+
+#endif  // USJ_UTIL_RESULT_H_

@@ -1,0 +1,54 @@
+#ifndef USJ_UTIL_TIMER_H_
+#define USJ_UTIL_TIMER_H_
+
+#include <ctime>
+
+namespace sj {
+
+/// Measures CPU time consumed by the calling thread, in seconds.
+///
+/// The experiment harness separates "CPU time" (measured here on the host
+/// and scaled by a MachineModel's CPU slowdown) from "I/O time" (charged by
+/// the simulated DiskModel), mirroring the paper's getrusage-based
+/// accounting.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+
+  /// Seconds of thread CPU time since construction or last Restart().
+  double Elapsed() const { return Now() - start_; }
+
+  /// Current thread CPU clock reading in seconds.
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+ private:
+  double start_;
+};
+
+/// Wall-clock timer (monotonic), used only for reporting harness overhead.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+  double Elapsed() const { return Now() - start_; }
+
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+ private:
+  double start_;
+};
+
+}  // namespace sj
+
+#endif  // USJ_UTIL_TIMER_H_

@@ -1,0 +1,97 @@
+#include "io/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "io/pager.h"
+#include "util/logging.h"
+
+namespace sj {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest()
+      : disk_(MachineModel::Machine3()),
+        pager_(std::make_unique<MemoryBackend>(), &disk_, "p") {
+    // Ten distinct pages.
+    uint8_t page[kPageSize];
+    for (PageId i = 0; i < 10; ++i) {
+      std::memset(page, static_cast<int>(i + 1), kPageSize);
+      SJ_CHECK_OK(pager_.WritePage(i, page));
+    }
+    disk_.ResetStats();
+  }
+
+  uint8_t FirstByte(BufferPool* pool, PageId p) {
+    uint8_t buf[kPageSize];
+    SJ_CHECK_OK(pool->Get(&pager_, p, buf));
+    return buf[0];
+  }
+
+  DiskModel disk_;
+  Pager pager_;
+};
+
+TEST_F(BufferPoolTest, HitAvoidsDiskRead) {
+  BufferPool pool(4);
+  EXPECT_EQ(FirstByte(&pool, 3), 4);
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+  EXPECT_EQ(FirstByte(&pool, 3), 4);
+  EXPECT_EQ(disk_.stats().pages_read, 1u);  // Served from cache.
+  EXPECT_EQ(pool.stats().requests, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  FirstByte(&pool, 0);
+  FirstByte(&pool, 1);
+  FirstByte(&pool, 0);  // 0 is now MRU, 1 is LRU.
+  FirstByte(&pool, 2);  // Evicts 1.
+  disk_.ResetStats();
+  FirstByte(&pool, 0);  // Still cached.
+  EXPECT_EQ(disk_.stats().pages_read, 0u);
+  FirstByte(&pool, 1);  // Was evicted: re-read.
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+}
+
+TEST_F(BufferPoolTest, CapacityIsRespected) {
+  BufferPool pool(3);
+  for (PageId p = 0; p < 10; ++p) FirstByte(&pool, p);
+  EXPECT_LE(pool.cached_pages(), 3u);
+  EXPECT_EQ(pool.stats().misses, 10u);
+}
+
+TEST_F(BufferPoolTest, DistinguishesPagers) {
+  Pager other(std::make_unique<MemoryBackend>(), &disk_, "q");
+  uint8_t page[kPageSize];
+  std::memset(page, 0x77, kPageSize);
+  SJ_CHECK_OK(other.WritePage(0, page));
+
+  BufferPool pool(4);
+  EXPECT_EQ(FirstByte(&pool, 0), 1);  // pager_ page 0.
+  uint8_t buf[kPageSize];
+  SJ_CHECK_OK(pool.Get(&other, 0, buf));
+  EXPECT_EQ(buf[0], 0x77);  // Same page id, different device.
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST_F(BufferPoolTest, ClearDropsFramesKeepsStats) {
+  BufferPool pool(4);
+  FirstByte(&pool, 0);
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  FirstByte(&pool, 0);
+  EXPECT_EQ(pool.stats().misses, 2u);  // Re-read after clear.
+}
+
+TEST(BufferPool, PaperCapacityIs22MB) {
+  EXPECT_EQ(BufferPool::kPaperCapacityPages * kPageSize, 22u << 20);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,66 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sj {
+namespace {
+
+TEST(CostModel, BreakEvenNearPaperSixtyPercent) {
+  // §6.3: "it is advantageous to use the index only when the join involves
+  // less than 60% of the leaf nodes" — derived from random ~ 10x
+  // sequential and SSSJ ~ 6 sequential passes.
+  const CostModel model(MachineModel::Machine1());
+  EXPECT_GT(model.IndexBreakEvenFraction(), 0.45);
+  EXPECT_LT(model.IndexBreakEvenFraction(), 0.70);
+}
+
+TEST(CostModel, PreferIndexBelowBreakEven) {
+  const CostModel model(MachineModel::Machine1());
+  const double f = model.IndexBreakEvenFraction();
+  EXPECT_TRUE(model.PreferIndex(f * 0.5));
+  EXPECT_FALSE(model.PreferIndex(f * 1.5));
+  EXPECT_TRUE(model.PreferIndex(0.0));
+}
+
+TEST(CostModel, SSSJCostIsSixSequentialPasses) {
+  const CostModel model(MachineModel::Machine1());
+  const double seq_page =
+      MachineModel::Machine1().PageTransferMs(kPageSize) * 1e-3;
+  EXPECT_NEAR(model.SSSJSeconds(1000), 6.0 * 1000 * seq_page, 1e-9);
+}
+
+TEST(CostModel, PQCostUsesRandomReads) {
+  const MachineModel m = MachineModel::Machine1();
+  const CostModel model(m);
+  const double rand_page = (m.avg_access_ms + m.PageTransferMs(kPageSize)) * 1e-3;
+  EXPECT_NEAR(model.PQSeconds(1000), 1000 * rand_page, 1e-9);
+}
+
+TEST(CostModel, FullTraversalNeverBeatsStreaming) {
+  // Consequence of the paper's analysis: a PQ join that touches the whole
+  // index (the common, non-localized case) costs more I/O than SSSJ.
+  for (const MachineModel& m :
+       {MachineModel::Machine1(), MachineModel::Machine2(),
+        MachineModel::Machine3()}) {
+    const CostModel model(m);
+    EXPECT_GT(model.PQSeconds(10000), model.SSSJSeconds(10000))
+        << m.name;
+  }
+}
+
+TEST(CostModel, CrossoverIsMonotone) {
+  const CostModel model(MachineModel::Machine3());
+  const uint64_t n = 50000;
+  double prev = -1.0;
+  bool crossed = false;
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    const double cost = model.PQSeconds(static_cast<uint64_t>(f * n));
+    EXPECT_GE(cost, prev);
+    prev = cost;
+    if (cost > model.SSSJSeconds(n)) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+}
+
+}  // namespace
+}  // namespace sj

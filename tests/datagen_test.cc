@@ -1,0 +1,174 @@
+#include "datagen/tiger_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset_file.h"
+#include "datagen/synthetic.h"
+#include "sweep/interval_structures.h"
+#include "sweep/sweep_join.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::TestDisk;
+
+TEST(PaperDatasets, LadderMatchesTable2AtScaleOne) {
+  const auto specs = PaperDatasets(1.0);
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "NJ");
+  EXPECT_EQ(specs[0].road_count, 414442u);
+  EXPECT_EQ(specs[0].hydro_count, 50853u);
+  EXPECT_EQ(specs[5].name, "DISK1-6");
+  EXPECT_EQ(specs[5].road_count, 29088173u);
+  EXPECT_EQ(specs[5].hydro_count, 7413353u);
+}
+
+TEST(PaperDatasets, ScalePreservesRatios) {
+  const auto full = PaperDatasets(1.0);
+  const auto tiny = PaperDatasets(0.01);
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(tiny[i].road_count),
+                0.01 * static_cast<double>(full[i].road_count),
+                full[i].road_count * 0.0002 + 1);
+  }
+  EXPECT_EQ(PaperDataset("NY", 0.5).name, "NY");
+}
+
+TEST(TigerGenerator, DeterministicPerSeed) {
+  TigerGenerator g1(42), g2(42), g3(43);
+  std::vector<RectF> a, b, c;
+  g1.GenerateRoads(500, &a);
+  g2.GenerateRoads(500, &b);
+  g3.GenerateRoads(500, &c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TigerGenerator, CountsAndIdsAndBounds) {
+  TigerGenerator gen(7);
+  std::vector<RectF> roads, hydro;
+  gen.GenerateRoads(2000, &roads, /*base_id=*/0);
+  gen.GenerateHydro(800, &hydro, /*base_id=*/0);
+  ASSERT_EQ(roads.size(), 2000u);
+  ASSERT_EQ(hydro.size(), 800u);
+  const RectF region = gen.region();
+  for (size_t i = 0; i < roads.size(); ++i) {
+    EXPECT_EQ(roads[i].id, i);
+    EXPECT_TRUE(roads[i].Valid());
+    EXPECT_TRUE(region.Contains(roads[i])) << roads[i].ToString();
+  }
+  for (size_t i = 0; i < hydro.size(); ++i) {
+    EXPECT_EQ(hydro[i].id, i);
+    EXPECT_TRUE(region.Contains(hydro[i]));
+  }
+}
+
+TEST(TigerGenerator, RoadsAreSmallHydroElongatedOrBlobby) {
+  TigerGenerator gen(11);
+  std::vector<RectF> roads;
+  gen.GenerateRoads(3000, &roads);
+  double mean_w = 0;
+  for (const RectF& r : roads) mean_w += (r.xhi - r.xlo) + (r.yhi - r.ylo);
+  mean_w /= roads.size();
+  // Street segments are a few thousandths of a degree across.
+  EXPECT_LT(mean_w, 0.05);
+}
+
+TEST(TigerGenerator, JoinSelectivityIsRealistic) {
+  // Output of roads x hydro should be within a small factor of the input
+  // sizes (Table 2: output comparable to hydro cardinality), not quadratic
+  // and not near zero.
+  TigerGenerator gen(13);
+  std::vector<RectF> roads, hydro;
+  gen.GenerateRoads(20000, &roads);
+  gen.GenerateHydro(5000, &hydro);
+  std::sort(roads.begin(), roads.end(), OrderByYLo());
+  std::sort(hydro.begin(), hydro.end(), OrderByYLo());
+  VectorRectSource sr(&roads), sh(&hydro);
+  StripedSweep a(gen.region(), 1024), b(gen.region(), 1024);
+  const SweepRunStats stats = SweepJoinRun(
+      sr, sh, a, b, [](const RectF&, const RectF&) {}, [] {});
+  EXPECT_GT(stats.output_count, 500u);
+  EXPECT_LT(stats.output_count, 20000u * 10);
+}
+
+TEST(TigerGenerator, SquareRootRuleHolds) {
+  // Güting & Schilling's square-root rule: a sweep line cuts O(sqrt(N))
+  // rectangles. Verify the max active set grows much slower than N.
+  auto max_active = [](uint64_t n) -> size_t {
+    TigerGenerator gen(17);
+    std::vector<RectF> roads, empty_side;
+    gen.GenerateRoads(n, &roads);
+    std::sort(roads.begin(), roads.end(), OrderByYLo());
+    VectorRectSource sr(&roads), se(&empty_side);
+    ForwardSweep a{}, b{};
+    // Join against an empty side: the sweep still inserts/expires side A.
+    SweepRunStats stats = SweepJoinRun(
+        sr, se, a, b, [](const RectF&, const RectF&) {}, [] {});
+    return stats.max_active;
+  };
+  const size_t at_10k = max_active(10000);
+  const size_t at_160k = max_active(160000);
+  // 16x the data -> ~4x the cut (sqrt); allow up to 8x.
+  EXPECT_LT(at_160k, at_10k * 8) << "active set grows too fast";
+}
+
+TEST(UniformRects, Deterministic) {
+  EXPECT_EQ(UniformRects(100, RectF(0, 0, 10, 10), 1.0f, 5),
+            UniformRects(100, RectF(0, 0, 10, 10), 1.0f, 5));
+}
+
+TEST(DiagonalPoints, AreDegenerate) {
+  const auto pts = DiagonalPoints(10, RectF(0, 0, 9, 9));
+  ASSERT_EQ(pts.size(), 10u);
+  for (const RectF& p : pts) {
+    EXPECT_EQ(p.xlo, p.xhi);
+    EXPECT_EQ(p.ylo, p.yhi);
+  }
+  EXPECT_EQ(pts[0].xlo, 0.0f);
+  EXPECT_EQ(pts[9].xlo, 9.0f);
+}
+
+TEST(DatasetFile, RoundTrip) {
+  TestDisk td;
+  auto pager = td.NewPager("ds");
+  const auto rects = UniformRects(1234, RectF(0, 0, 40, 40), 1.0f, 19);
+  auto written = WriteDataset(pager.get(), rects, "test-data");
+  ASSERT_TRUE(written.ok());
+  auto opened = OpenDataset(pager.get(), 0);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->count(), 1234u);
+  EXPECT_EQ(opened->extent.xlo, written->extent.xlo);
+  StreamReader<RectF> reader(opened->range.pager, opened->range.first_page,
+                             opened->range.count);
+  size_t i = 0;
+  while (auto r = reader.Next()) {
+    EXPECT_EQ(*r, rects[i]);
+    i++;
+  }
+  EXPECT_EQ(i, rects.size());
+}
+
+TEST(DatasetFile, DetectsBadMagic) {
+  TestDisk td;
+  auto pager = td.NewPager("ds");
+  uint8_t junk[kPageSize] = {1, 2, 3};
+  ASSERT_TRUE(pager->WritePage(0, junk).ok());
+  auto opened = OpenDataset(pager.get(), 0);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetFile, EmptyDataset) {
+  TestDisk td;
+  auto pager = td.NewPager("ds");
+  ASSERT_TRUE(WriteDataset(pager.get(), {}, "empty").ok());
+  auto opened = OpenDataset(pager.get(), 0);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->count(), 0u);
+  EXPECT_FALSE(opened->extent.Valid());
+}
+
+}  // namespace
+}  // namespace sj

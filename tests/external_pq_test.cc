@@ -1,0 +1,159 @@
+#include "sort/external_pq.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sj {
+namespace {
+
+using testing_util::TestDisk;
+
+struct IntLess {
+  bool operator()(uint64_t a, uint64_t b) const { return a < b; }
+};
+
+TEST(ExternalPriorityQueue, InMemoryRegimeNeverSpills) {
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  ExternalPriorityQueue<uint64_t, IntLess> pq(1 << 20, spill.get());
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) pq.Push(rng.Uniform(1000000));
+  EXPECT_EQ(pq.SpilledRuns(), 0u);
+  EXPECT_EQ(td.disk.stats().pages_written, 0u);
+  uint64_t prev = 0;
+  uint64_t count = 0;
+  while (auto v = pq.PopMin()) {
+    EXPECT_GE(*v, prev);
+    prev = *v;
+    count++;
+  }
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(ExternalPriorityQueue, SpillsAndStaysSorted) {
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  // Budget for ~128 elements: a 50k-element workload spills heavily.
+  ExternalPriorityQueue<uint64_t, IntLess> pq(128 * sizeof(uint64_t),
+                                              spill.get());
+  Random rng(2);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = rng.Uniform(1u << 30);
+    inserted.push_back(v);
+    pq.Push(v);
+  }
+  EXPECT_GT(pq.SpilledRuns(), 0u);
+  EXPECT_GT(td.disk.stats().pages_written, 0u);
+  EXPECT_EQ(pq.Size(), inserted.size());
+
+  std::sort(inserted.begin(), inserted.end());
+  for (uint64_t expected : inserted) {
+    auto v = pq.PopMin();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, expected);
+  }
+  EXPECT_FALSE(pq.PopMin().has_value());
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST(ExternalPriorityQueue, InterleavedPushPopMatchesStdPq) {
+  // The PQ-traversal access pattern: pops interleaved with pushes of keys
+  // >= the last popped key (children have larger ylo than their parent),
+  // plus occasional arbitrary pushes.
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  ExternalPriorityQueue<uint64_t, IntLess> pq(256 * sizeof(uint64_t),
+                                              spill.get());
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> ref;
+  Random rng(3);
+  for (int round = 0; round < 20000; ++round) {
+    const double action = rng.UniformDouble(0, 1);
+    if (action < 0.55 || ref.empty()) {
+      const uint64_t v = rng.Uniform(1u << 20);
+      pq.Push(v);
+      ref.push(v);
+    } else {
+      auto got = pq.PopMin();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, ref.top());
+      ref.pop();
+    }
+    if (round % 1000 == 0) {
+      auto peek = pq.PeekMin();
+      if (ref.empty()) {
+        EXPECT_FALSE(peek.has_value());
+      } else {
+        ASSERT_TRUE(peek.has_value());
+        EXPECT_EQ(*peek, ref.top());
+      }
+    }
+  }
+  while (!ref.empty()) {
+    auto got = pq.PopMin();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST(ExternalPriorityQueue, MemoryStaysBounded) {
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  const size_t budget = 1024 * sizeof(uint64_t);
+  ExternalPriorityQueue<uint64_t, IntLess> pq(budget, spill.get());
+  Random rng(4);
+  size_t max_heap_bytes = 0;
+  for (int i = 0; i < 200000; ++i) {
+    pq.Push(rng.Uniform(1u << 30));
+    max_heap_bytes = std::max(max_heap_bytes, pq.MemoryBytes());
+  }
+  // Heap portion respects the budget (cursor buffers are accounted but
+  // proportional to runs, which stay modest: each spill halves the heap).
+  EXPECT_LE(max_heap_bytes,
+            budget + sizeof(uint64_t) +
+                pq.OpenRuns() * 2 * kPageSize);
+}
+
+TEST(ExternalPriorityQueue, DuplicateKeys) {
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  ExternalPriorityQueue<uint64_t, IntLess> pq(64 * sizeof(uint64_t),
+                                              spill.get());
+  for (int i = 0; i < 5000; ++i) pq.Push(7);
+  for (int i = 0; i < 5000; ++i) {
+    auto v = pq.PopMin();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7u);
+  }
+  EXPECT_TRUE(pq.Empty());
+}
+
+TEST(ExternalPriorityQueue, RectRecordsByYlo) {
+  // The actual record type the PQ join would spill.
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  ExternalPriorityQueue<RectF, OrderByYLo> pq(100 * sizeof(RectF),
+                                              spill.get());
+  Random rng(5);
+  for (ObjectId i = 0; i < 10000; ++i) {
+    const float y = static_cast<float>(rng.UniformDouble(0, 1000));
+    pq.Push(RectF(0, y, 1, y + 1, i));
+  }
+  float prev = -1;
+  uint64_t n = 0;
+  while (auto r = pq.PopMin()) {
+    EXPECT_GE(r->ylo, prev);
+    prev = r->ylo;
+    n++;
+  }
+  EXPECT_EQ(n, 10000u);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,161 @@
+#include "sort/external_sort.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::TestDisk;
+
+StreamRange WriteRects(Pager* pager, const std::vector<RectF>& rects) {
+  StreamWriter<RectF> writer(pager);
+  const PageId first = writer.first_page();
+  for (const RectF& r : rects) writer.Append(r);
+  auto n = writer.Finish();
+  SJ_CHECK(n.ok());
+  return StreamRange{pager, first, n.value()};
+}
+
+std::vector<RectF> ReadRects(const StreamRange& range) {
+  std::vector<RectF> out;
+  StreamReader<RectF> reader(range.pager, range.first_page, range.count);
+  while (auto r = reader.Next()) out.push_back(*r);
+  return out;
+}
+
+class ExternalSortTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExternalSortTest, SortsByYLo) {
+  const uint64_t n = GetParam();
+  TestDisk td;
+  auto input = td.NewPager("input");
+  auto scratch = td.NewPager("scratch");
+  auto output = td.NewPager("output");
+  auto rects = UniformRects(n, RectF(0, 0, 1000, 1000), 5.0f, /*seed=*/n + 1);
+  const StreamRange in = WriteRects(input.get(), rects);
+
+  // Memory for ~1000 records per run: forces many runs for large n.
+  ExternalSorter<RectF, OrderByYLo> sorter(
+      std::max<size_t>(kPageSize * 4, 1000 * sizeof(RectF)), scratch.get());
+  auto sorted = sorter.Sort(in, output.get());
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_EQ(sorted->count, n);
+
+  std::vector<RectF> result = ReadRects(*sorted);
+  ASSERT_EQ(result.size(), rects.size());
+  std::sort(rects.begin(), rects.end(), OrderByYLo());
+  // Same multiset in sorted order (OrderByYLo ties broken by id, so the
+  // result is fully deterministic).
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(result[i], rects[i]) << "mismatch at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExternalSortTest,
+                         ::testing::Values(0, 1, 2, 999, 1000, 1001, 12345,
+                                           50000));
+
+TEST(ExternalSort, SingleRunCopiesToRequestedPager) {
+  TestDisk td;
+  auto input = td.NewPager("input");
+  auto scratch = td.NewPager("scratch");
+  auto output = td.NewPager("output");
+  const StreamRange in = WriteRects(
+      input.get(), UniformRects(100, RectF(0, 0, 10, 10), 1.0f, 3));
+  ExternalSorter<RectF, OrderByYLo> sorter(1 << 20, scratch.get());
+  auto sorted = sorter.Sort(in, output.get());
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->pager, output.get());
+  EXPECT_EQ(sorted->count, 100u);
+}
+
+TEST(ExternalSort, MultiPassMergeWithTinyMemory) {
+  TestDisk td;
+  auto input = td.NewPager("input");
+  auto scratch = td.NewPager("scratch");
+  auto output = td.NewPager("output");
+  auto rects = UniformRects(20000, RectF(0, 0, 100, 100), 1.0f, 7);
+  const StreamRange in = WriteRects(input.get(), rects);
+  // Minimum legal memory: 4 pages -> fan-in 3, runs of ~1638 records, so
+  // 20000 records require several merge passes.
+  ExternalSorter<RectF, OrderByYLo> sorter(kPageSize * 4, scratch.get());
+  EXPECT_EQ(sorter.MaxFanIn(), 3u);
+  EXPECT_EQ(sorter.merge_block_pages(), 1u);
+  auto sorted = sorter.Sort(in, output.get());
+  ASSERT_TRUE(sorted.ok());
+  std::vector<RectF> result = ReadRects(*sorted);
+  std::sort(rects.begin(), rects.end(), OrderByYLo());
+  EXPECT_EQ(result.size(), rects.size());
+  EXPECT_TRUE(std::equal(result.begin(), result.end(), rects.begin()));
+}
+
+TEST(ExternalSort, EmptyInputYieldsEmptyOutput) {
+  TestDisk td;
+  auto input = td.NewPager("input");
+  auto scratch = td.NewPager("scratch");
+  auto output = td.NewPager("output");
+  const StreamRange in = WriteRects(input.get(), {});
+  ExternalSorter<RectF, OrderByYLo> sorter(1 << 20, scratch.get());
+  auto sorted = sorter.Sort(in, output.get());
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->count, 0u);
+}
+
+TEST(ExternalSort, SsSJIoPassStructure) {
+  // The I/O shape the paper describes for SSSJ sorting: sequential run
+  // writes, then a merge whose reads alternate between more runs than the
+  // disk cache has segments (random). Machine 2: 2 segments.
+  TestDisk td(MachineModel::Machine2());
+  auto input = td.NewPager("input");
+  auto scratch = td.NewPager("scratch");
+  auto output = td.NewPager("output");
+  auto rects = UniformRects(30000, RectF(0, 0, 100, 100), 1.0f, 11);
+  const StreamRange in = WriteRects(input.get(), rects);
+  td.disk.ResetStats();
+
+  ExternalSorter<RectF, OrderByYLo> sorter(6000 * sizeof(RectF),
+                                           scratch.get());
+  ASSERT_GE(sorter.MaxFanIn(), 5u);  // Guarantees a single merge pass.
+  ASSERT_TRUE(sorter.Sort(in, output.get()).ok());
+  const DiskStats& s = td.disk.stats();
+  const uint64_t data_pages = (30000 + 408) / 409;
+  // One read of the input + one read of the runs; one write of the runs +
+  // one write of the sorted output.
+  EXPECT_NEAR(static_cast<double>(s.pages_read), 2.0 * data_pages,
+              data_pages * 0.1);
+  EXPECT_NEAR(static_cast<double>(s.pages_written), 2.0 * data_pages,
+              data_pages * 0.1);
+  // Merge reads hop between runs: a large share of read requests is
+  // non-sequential.
+  EXPECT_GT(s.random_read_requests, s.read_requests / 4);
+}
+
+TEST(MergingReader, MergesRunsInOrder) {
+  TestDisk td;
+  auto scratch = td.NewPager("scratch");
+  std::vector<StreamRange> runs;
+  // Three interleaved sorted runs.
+  for (int run = 0; run < 3; ++run) {
+    std::vector<RectF> rects;
+    for (int i = 0; i < 500; ++i) {
+      const float y = static_cast<float>(i * 3 + run);
+      rects.push_back(RectF(0, y, 1, y + 1, static_cast<ObjectId>(run * 1000 + i)));
+    }
+    runs.push_back(WriteRects(scratch.get(), rects));
+  }
+  MergingReader<RectF, OrderByYLo> merger(runs, /*block_pages=*/2);
+  float prev = -1.0f;
+  uint64_t count = 0;
+  while (auto r = merger.Next()) {
+    EXPECT_GE(r->ylo, prev);
+    prev = r->ylo;
+    count++;
+  }
+  EXPECT_EQ(count, 1500u);
+}
+
+}  // namespace
+}  // namespace sj

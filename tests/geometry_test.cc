@@ -1,0 +1,108 @@
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/extent.h"
+
+namespace sj {
+namespace {
+
+TEST(RectF, LayoutMatchesPaperRecord) {
+  EXPECT_EQ(sizeof(RectF), 20u);
+  EXPECT_EQ(sizeof(IdPair), 8u);
+}
+
+TEST(RectF, IntersectsBasic) {
+  const RectF a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Intersects(RectF(5, 5, 15, 15)));
+  EXPECT_TRUE(a.Intersects(RectF(-5, -5, 0, 0)));  // Corner touch counts.
+  EXPECT_TRUE(a.Intersects(RectF(10, 0, 20, 10))); // Edge touch counts.
+  EXPECT_FALSE(a.Intersects(RectF(10.001f, 0, 20, 10)));
+  EXPECT_FALSE(a.Intersects(RectF(0, 10.001f, 10, 20)));
+  EXPECT_TRUE(a.Intersects(RectF(2, 2, 3, 3)));  // Containment.
+  EXPECT_TRUE(RectF(2, 2, 3, 3).Intersects(a)); // Symmetric.
+}
+
+TEST(RectF, DegenerateRectsIntersect) {
+  const RectF point(5, 5, 5, 5);
+  EXPECT_TRUE(point.Intersects(point));
+  EXPECT_TRUE(point.Intersects(RectF(0, 0, 10, 10)));
+  const RectF hline(0, 5, 10, 5);
+  const RectF vline(5, 0, 5, 10);
+  EXPECT_TRUE(hline.Intersects(vline));
+  EXPECT_FALSE(hline.Intersects(RectF(0, 6, 10, 6)));
+}
+
+TEST(RectF, IntersectsXIgnoresY) {
+  const RectF a(0, 0, 10, 10);
+  EXPECT_TRUE(a.IntersectsX(RectF(5, 100, 15, 200)));
+  EXPECT_FALSE(a.IntersectsX(RectF(11, 0, 20, 10)));
+}
+
+TEST(RectF, ContainsAndContainsPoint) {
+  const RectF a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Contains(RectF(0, 0, 10, 10)));
+  EXPECT_TRUE(a.Contains(RectF(1, 1, 9, 9)));
+  EXPECT_FALSE(a.Contains(RectF(1, 1, 11, 9)));
+  EXPECT_TRUE(a.ContainsPoint(0, 0));
+  EXPECT_TRUE(a.ContainsPoint(10, 10));
+  EXPECT_FALSE(a.ContainsPoint(10.5f, 5));
+}
+
+TEST(RectF, AreaAndEnlargement) {
+  const RectF a(0, 0, 4, 5);
+  EXPECT_DOUBLE_EQ(a.Area(), 20.0);
+  EXPECT_DOUBLE_EQ(RectF(1, 1, 1, 1).Area(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(RectF(1, 1, 2, 2)), 0.0);
+  // Extending (0,0,4,5) to cover (0,0,8,5) doubles the area.
+  EXPECT_DOUBLE_EQ(a.Enlargement(RectF(4, 0, 8, 5)), 20.0);
+}
+
+TEST(RectF, ExtendToAndEmpty) {
+  RectF box = RectF::Empty();
+  EXPECT_FALSE(box.Valid());
+  box.ExtendTo(RectF(2, 3, 4, 5));
+  box.ExtendTo(RectF(-1, 4, 3, 9));
+  EXPECT_TRUE(box.Valid());
+  EXPECT_EQ(box.xlo, -1);
+  EXPECT_EQ(box.ylo, 3);
+  EXPECT_EQ(box.xhi, 4);
+  EXPECT_EQ(box.yhi, 9);
+}
+
+TEST(RectF, IntersectionWith) {
+  const RectF a(0, 0, 10, 10), b(5, 5, 15, 15);
+  const RectF w = a.IntersectionWith(b);
+  EXPECT_EQ(w.xlo, 5);
+  EXPECT_EQ(w.ylo, 5);
+  EXPECT_EQ(w.xhi, 10);
+  EXPECT_EQ(w.yhi, 10);
+}
+
+TEST(RectF, ValidRejectsNanAndInverted) {
+  EXPECT_FALSE(RectF(5, 0, 4, 10).Valid());
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(RectF(nan, 0, 4, 10).Valid());
+  EXPECT_FALSE(RectF(0, nan, 4, nan).Valid());
+}
+
+TEST(Orderings, YLoThenId) {
+  const OrderByYLo less;
+  EXPECT_TRUE(less(RectF(0, 1, 1, 2, 5), RectF(0, 2, 1, 3, 1)));
+  EXPECT_TRUE(less(RectF(0, 1, 1, 2, 1), RectF(9, 1, 9, 9, 2)));  // Tie by id.
+  EXPECT_FALSE(less(RectF(0, 1, 1, 2, 2), RectF(9, 1, 9, 9, 1)));
+}
+
+TEST(ComputeExtent, CoversAll) {
+  const std::vector<RectF> rects = {RectF(0, 0, 1, 1), RectF(5, -2, 6, 0),
+                                    RectF(-3, 4, -1, 8)};
+  const RectF e = ComputeExtent(rects);
+  EXPECT_EQ(e.xlo, -3);
+  EXPECT_EQ(e.ylo, -2);
+  EXPECT_EQ(e.xhi, 6);
+  EXPECT_EQ(e.yhi, 8);
+  EXPECT_FALSE(ComputeExtent({}).Valid());
+}
+
+}  // namespace
+}  // namespace sj

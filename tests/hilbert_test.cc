@@ -1,0 +1,80 @@
+#include "geometry/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sj {
+namespace {
+
+TEST(Hilbert, BijectiveOnSmallGrid) {
+  const HilbertCurve curve(4);  // 16x16 grid.
+  std::set<uint64_t> seen;
+  for (uint32_t y = 0; y < 16; ++y) {
+    for (uint32_t x = 0; x < 16; ++x) {
+      const uint64_t d = curve.Distance(x, y);
+      EXPECT_LT(d, 256u);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate distance " << d;
+      uint32_t rx, ry;
+      curve.Point(d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Hilbert, ConsecutiveDistancesAreGridNeighbors) {
+  const HilbertCurve curve(5);  // 32x32.
+  uint32_t px, py;
+  curve.Point(0, &px, &py);
+  for (uint64_t d = 1; d < 1024; ++d) {
+    uint32_t x, y;
+    curve.Point(d, &x, &y);
+    const uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    EXPECT_EQ(manhattan, 1u) << "curve jumps at distance " << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, KeyClampsOutOfExtent) {
+  const HilbertCurve curve(8);
+  const RectF extent(0, 0, 100, 100);
+  // Outside coordinates clamp to the boundary rather than wrapping.
+  EXPECT_EQ(HilbertKey(curve, extent, -50, -50),
+            HilbertKey(curve, extent, 0, 0));
+  EXPECT_EQ(HilbertKey(curve, extent, 150, 150),
+            HilbertKey(curve, extent, 100, 100));
+}
+
+TEST(Hilbert, DegenerateExtentMapsToCellZero) {
+  const HilbertCurve curve(8);
+  const RectF extent(5, 0, 5, 100);  // Zero-width x axis.
+  EXPECT_EQ(HilbertKey(curve, extent, 5, 0), curve.Distance(0, 0));
+}
+
+TEST(Hilbert, NearbyPointsGetNearbyKeys) {
+  // Locality sanity: the average key distance of adjacent cells must be
+  // far below that of random cell pairs.
+  const HilbertCurve curve(8);
+  const uint32_t n = curve.grid_size();
+  double adjacent = 0.0, random_pairs = 0.0;
+  int count = 0;
+  for (uint32_t y = 0; y < n; y += 7) {
+    for (uint32_t x = 0; x + 1 < n; x += 7) {
+      const double d1 = static_cast<double>(curve.Distance(x, y));
+      const double d2 = static_cast<double>(curve.Distance(x + 1, y));
+      adjacent += d1 > d2 ? d1 - d2 : d2 - d1;
+      const double d3 =
+          static_cast<double>(curve.Distance((x * 97 + 13) % n, (y * 31 + 7) % n));
+      random_pairs += d1 > d3 ? d1 - d3 : d3 - d1;
+      count++;
+    }
+  }
+  EXPECT_LT(adjacent / count, 0.05 * random_pairs / count);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,112 @@
+#include "histogram/grid_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::TestDisk;
+
+TEST(GridHistogram, CountsOverlappingCells) {
+  GridHistogram hist(RectF(0, 0, 10, 10), 10, 10);
+  hist.Add(RectF(0.5f, 0.5f, 0.6f, 0.6f));   // One cell.
+  hist.Add(RectF(0.0f, 0.0f, 2.5f, 0.5f));   // Cells x 0..2, y 0.
+  EXPECT_EQ(hist.CellCount(0, 0), 2u);
+  EXPECT_EQ(hist.CellCount(1, 0), 1u);
+  EXPECT_EQ(hist.CellCount(2, 0), 1u);
+  EXPECT_EQ(hist.CellCount(3, 0), 0u);
+  EXPECT_EQ(hist.total(), 2u);
+}
+
+TEST(GridHistogram, MightIntersectIsConservative) {
+  GridHistogram hist(RectF(0, 0, 100, 100), 20, 20);
+  hist.Add(RectF(10, 10, 12, 12));
+  // Same cell region: must report possible.
+  EXPECT_TRUE(hist.MightIntersect(RectF(11, 11, 11.5f, 11.5f)));
+  // Same cell but not overlapping the object: still "might" (conservative).
+  EXPECT_TRUE(hist.MightIntersect(RectF(13, 13, 14, 14)));
+  // Far away: definitively no.
+  EXPECT_FALSE(hist.MightIntersect(RectF(80, 80, 90, 90)));
+  // Outside the extent entirely.
+  EXPECT_FALSE(hist.MightIntersect(RectF(200, 200, 300, 300)));
+}
+
+TEST(GridHistogram, EmptyHistogramIntersectsNothing) {
+  GridHistogram hist(RectF(0, 0, 10, 10), 4, 4);
+  EXPECT_FALSE(hist.MightIntersect(RectF(1, 1, 2, 2)));
+  EXPECT_EQ(hist.EstimateJoinFraction(hist), 0.0);
+}
+
+TEST(GridHistogram, JoinFractionBounds) {
+  const RectF extent(0, 0, 100, 100);
+  GridHistogram left(extent, 10, 10);
+  GridHistogram right(extent, 10, 10);
+  for (const RectF& r : UniformRects(500, extent, 1.0f, 1)) left.Add(r);
+  for (const RectF& r : UniformRects(500, extent, 1.0f, 2)) right.Add(r);
+  const double f = left.EstimateJoinFraction(right);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  // Uniform data overlaps nearly everywhere.
+  EXPECT_GT(f, 0.8);
+}
+
+TEST(GridHistogram, DisjointDataGivesZeroFraction) {
+  const RectF extent(0, 0, 100, 100);
+  GridHistogram left(extent, 10, 10);
+  GridHistogram right(extent, 10, 10);
+  for (const RectF& r : UniformRects(200, RectF(0, 0, 30, 30), 0.5f, 3)) {
+    left.Add(r);
+  }
+  for (const RectF& r : UniformRects(200, RectF(60, 60, 95, 95), 0.5f, 4)) {
+    right.Add(r);
+  }
+  EXPECT_EQ(left.EstimateJoinFraction(right), 0.0);
+}
+
+TEST(GridHistogram, LocalizedJoinFractionIsSmall) {
+  // The paper's motivating case (§6.3): Minnesota hydro vs US roads.
+  const RectF us(0, 0, 100, 100);
+  GridHistogram roads(us, 20, 20);
+  GridHistogram hydro(us, 20, 20);
+  for (const RectF& r : UniformRects(2000, us, 0.5f, 5)) roads.Add(r);
+  for (const RectF& r : UniformRects(200, RectF(10, 10, 20, 20), 0.5f, 6)) {
+    hydro.Add(r);
+  }
+  // Only a small fraction of the roads participate.
+  EXPECT_LT(roads.EstimateJoinFraction(hydro), 0.1);
+  // But all of the hydro does.
+  EXPECT_GT(hydro.EstimateJoinFraction(roads), 0.9);
+}
+
+TEST(GridHistogram, BuildFromStream) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const RectF extent(0, 0, 50, 50);
+  const auto rects = UniformRects(800, extent, 1.0f, 7);
+  const DatasetRef ref = MakeDataset(&td, rects, "h", &keep);
+  auto hist = GridHistogram::Build(ref.range, extent, 8, 8);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->total(), 800u);
+  // In-memory construction agrees.
+  GridHistogram direct(extent, 8, 8);
+  for (const RectF& r : rects) direct.Add(r);
+  for (uint32_t y = 0; y < 8; ++y) {
+    for (uint32_t x = 0; x < 8; ++x) {
+      EXPECT_EQ(hist->CellCount(x, y), direct.CellCount(x, y));
+    }
+  }
+}
+
+TEST(GridHistogram, DegenerateExtent) {
+  GridHistogram hist(RectF(5, 5, 5, 5), 16, 16);
+  hist.Add(RectF(5, 5, 5, 5));
+  EXPECT_TRUE(hist.MightIntersect(RectF(5, 5, 5, 5)));
+  EXPECT_EQ(hist.total(), 1u);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,150 @@
+// The central property of the study: every algorithm (SSSJ, PBSM, ST, PQ)
+// computes exactly the same relation — the set of intersecting MBR pairs.
+// This file sweeps data distributions, sizes, fanouts and sweep structures
+// and cross-checks all four against brute force.
+
+#include <gtest/gtest.h>
+
+#include "core/spatial_join.h"
+#include "datagen/synthetic.h"
+#include "datagen/tiger_gen.h"
+#include "join/bfs_join.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::BruteForcePairs;
+using testing_util::MakeDataset;
+using testing_util::Sorted;
+using testing_util::TestDisk;
+
+enum class Distribution { kUniform, kClustered, kTiger, kPoints, kMixed };
+
+struct EquivalenceCase {
+  Distribution dist;
+  uint64_t na, nb;
+  uint32_t fanout;
+  SweepStructureKind sweep;
+  uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const EquivalenceCase& c) {
+  const char* names[] = {"uniform", "clustered", "tiger", "points", "mixed"};
+  return os << names[static_cast<int>(c.dist)] << "_n" << c.na << "x" << c.nb
+            << "_f" << c.fanout << "_" << ToString(c.sweep) << "_s" << c.seed;
+}
+
+std::vector<RectF> MakeData(Distribution dist, uint64_t n, uint64_t seed,
+                            bool side_b) {
+  const RectF region(0, 0, 500, 500);
+  switch (dist) {
+    case Distribution::kUniform:
+      return UniformRects(n, region, side_b ? 3.0f : 1.5f, seed);
+    case Distribution::kClustered:
+      return ClusteredRects(n, region, 6, 12.0f, 2.0f, seed);
+    case Distribution::kTiger: {
+      TigerGenerator gen(seed);
+      std::vector<RectF> out;
+      if (side_b) {
+        gen.GenerateHydro(n, &out);
+      } else {
+        gen.GenerateRoads(n, &out);
+      }
+      return out;
+    }
+    case Distribution::kPoints:
+      return DiagonalPoints(n, region);
+    case Distribution::kMixed: {
+      auto out = UniformRects(n / 2, region, 2.0f, seed);
+      auto rest = DiagonalPoints(n - n / 2, region,
+                                 static_cast<ObjectId>(n / 2));
+      out.insert(out.end(), rest.begin(), rest.end());
+      return out;
+    }
+  }
+  return {};
+}
+
+class JoinEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(JoinEquivalence, AllFourAlgorithmsMatchBruteForce) {
+  const EquivalenceCase c = GetParam();
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const auto a = MakeData(c.dist, c.na, c.seed, false);
+  const auto b = MakeData(c.dist, c.nb, c.seed + 1000, true);
+  const auto expected = BruteForcePairs(a, b);
+
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+
+  auto tree_a_pager = td.NewPager("tree.a");
+  auto tree_b_pager = td.NewPager("tree.b");
+  auto scratch = td.NewPager("scratch");
+  RTreeParams params;
+  params.max_entries = c.fanout;
+  auto ta = RTree::BulkLoadHilbert(tree_a_pager.get(), da.range,
+                                   scratch.get(), params, 1 << 22);
+  auto tb = RTree::BulkLoadHilbert(tree_b_pager.get(), db.range,
+                                   scratch.get(), params, 1 << 22);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  ASSERT_TRUE(ta->Validate().ok());
+  ASSERT_TRUE(tb->Validate().ok());
+
+  JoinOptions options;
+  options.stream_sweep = c.sweep;
+  options.partition_sweep = c.sweep;
+  SpatialJoiner joiner(&td.disk, options);
+  const JoinInput ia = JoinInput::FromRTree(&*ta);
+  const JoinInput ib = JoinInput::FromRTree(&*tb);
+
+  for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
+                             JoinAlgorithm::kST, JoinAlgorithm::kPQ}) {
+    CollectingSink sink;
+    auto stats = joiner.Join(ia, ib, &sink, algo);
+    ASSERT_TRUE(stats.ok()) << ToString(algo) << ": "
+                            << stats.status().ToString();
+    EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
+  }
+  // The two extension algorithms must agree as well.
+  {
+    CollectingSink sink;
+    auto stats = BFSJoin(*ta, *tb, &td.disk, options, &sink);
+    ASSERT_TRUE(stats.ok()) << "BFS: " << stats.status().ToString();
+    EXPECT_EQ(Sorted(sink.pairs()), expected) << "BFS";
+  }
+  {
+    CollectingSink sink;
+    auto stats = SSSJStripJoin(da, db, /*strips=*/7, &td.disk, options, &sink);
+    ASSERT_TRUE(stats.ok()) << "SSSJ-strip: " << stats.status().ToString();
+    EXPECT_EQ(Sorted(sink.pairs()), expected) << "SSSJ-strip";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, JoinEquivalence,
+    ::testing::Values(
+        EquivalenceCase{Distribution::kUniform, 1500, 1200, 16,
+                        SweepStructureKind::kStriped, 1},
+        EquivalenceCase{Distribution::kUniform, 1500, 1200, 16,
+                        SweepStructureKind::kForward, 2},
+        EquivalenceCase{Distribution::kClustered, 2000, 1800, 32,
+                        SweepStructureKind::kStriped, 3},
+        EquivalenceCase{Distribution::kClustered, 2000, 1800, 8,
+                        SweepStructureKind::kForward, 4},
+        EquivalenceCase{Distribution::kTiger, 3000, 800, 32,
+                        SweepStructureKind::kStriped, 5},
+        EquivalenceCase{Distribution::kPoints, 1000, 1000, 16,
+                        SweepStructureKind::kStriped, 6},
+        EquivalenceCase{Distribution::kMixed, 1600, 1600, 16,
+                        SweepStructureKind::kStriped, 7},
+        EquivalenceCase{Distribution::kUniform, 50, 3000, 400,
+                        SweepStructureKind::kStriped, 8},   // Lopsided.
+        EquivalenceCase{Distribution::kUniform, 1, 1, 16,
+                        SweepStructureKind::kStriped, 9},   // Minimal.
+        EquivalenceCase{Distribution::kTiger, 1000, 1000, 4,
+                        SweepStructureKind::kForward, 10}));  // Deep trees.
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/synthetic.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::TestDisk;
+
+class RTreeDeleteTest : public ::testing::Test {
+ protected:
+  RTree BuildDynamic(const std::vector<RectF>& rects, uint32_t fanout,
+                     uint32_t min_entries = 0) {
+    pager_ = td_.NewPager("tree");
+    RTreeParams params;
+    params.max_entries = fanout;
+    params.min_entries = min_entries;
+    auto tree = RTree::CreateEmpty(pager_.get(), params);
+    SJ_CHECK(tree.ok());
+    for (const RectF& r : rects) SJ_CHECK_OK(tree->Insert(r));
+    return std::move(tree).value();
+  }
+
+  TestDisk td_;
+  std::unique_ptr<Pager> pager_;
+};
+
+TEST_F(RTreeDeleteTest, DeleteMissingReturnsNotFound) {
+  const auto rects = UniformRects(100, RectF(0, 0, 50, 50), 1.0f, 1);
+  RTree tree = BuildDynamic(rects, 8);
+  RectF ghost = rects[0];
+  ghost.id = 999999;  // Same box, wrong id.
+  EXPECT_EQ(tree.Delete(ghost).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(RectF(1000, 1000, 1001, 1001, 5)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.meta().entry_count, 100u);
+}
+
+TEST_F(RTreeDeleteTest, DeleteHalfThenQueriesMatchBruteForce) {
+  const auto rects = UniformRects(2000, RectF(0, 0, 200, 200), 2.0f, 2);
+  RTree tree = BuildDynamic(rects, 16);
+  // Delete every other rectangle.
+  for (size_t i = 0; i < rects.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(rects[i]).ok()) << "at " << i;
+    // Validate invariants periodically (full validation is O(n)).
+    if (i % 400 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+    }
+  }
+  EXPECT_EQ(tree.meta().entry_count, 1000u);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+
+  const RectF window(30, 30, 90, 75);
+  std::vector<RectF> got;
+  ASSERT_TRUE(tree.WindowQuery(window, &got).ok());
+  size_t want = 0;
+  for (size_t i = 1; i < rects.size(); i += 2) {
+    if (rects[i].Intersects(window)) want++;
+  }
+  EXPECT_EQ(got.size(), want);
+}
+
+TEST_F(RTreeDeleteTest, DeleteEverythingCollapsesTree) {
+  const auto rects = UniformRects(1500, RectF(0, 0, 100, 100), 1.0f, 3);
+  RTree tree = BuildDynamic(rects, 8);
+  EXPECT_GT(tree.height(), 1u);
+  for (const RectF& r : rects) {
+    ASSERT_TRUE(tree.Delete(r).ok());
+  }
+  EXPECT_EQ(tree.meta().entry_count, 0u);
+  EXPECT_EQ(tree.height(), 1u);  // Collapsed back to a root leaf.
+  EXPECT_FALSE(tree.bounding_box().Valid());
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  // And the tree is reusable afterwards.
+  ASSERT_TRUE(tree.Insert(RectF(1, 1, 2, 2, 9)).ok());
+  std::vector<RectF> out;
+  ASSERT_TRUE(tree.WindowQuery(RectF(0, 0, 3, 3), &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(RTreeDeleteTest, UnderflowReinsertsOrphans) {
+  // Small min_entries forces condensation paths to run.
+  const auto rects = UniformRects(600, RectF(0, 0, 60, 60), 1.5f, 4);
+  RTree tree = BuildDynamic(rects, 8, /*min_entries=*/4);
+  // Delete a spatially clustered subset to underflow specific leaves.
+  std::vector<RectF> cluster;
+  for (const RectF& r : rects) {
+    if (r.xlo < 20 && r.ylo < 20) cluster.push_back(r);
+  }
+  ASSERT_GT(cluster.size(), 10u);
+  for (const RectF& r : cluster) {
+    ASSERT_TRUE(tree.Delete(r).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_EQ(tree.meta().entry_count, rects.size() - cluster.size());
+  // No deleted rect is still findable.
+  std::vector<RectF> out;
+  ASSERT_TRUE(tree.WindowQuery(RectF(0, 0, 20, 20), &out).ok());
+  for (const RectF& r : out) {
+    EXPECT_FALSE(std::find(cluster.begin(), cluster.end(), r) != cluster.end());
+  }
+}
+
+TEST_F(RTreeDeleteTest, InterleavedInsertDeleteChurn) {
+  // The update-churn scenario §7 warns about: the tree stays valid and
+  // queries stay exact through mixed workloads.
+  RTree tree = BuildDynamic({}, 12, 3);
+  Random rng(77);
+  std::vector<RectF> live;
+  ObjectId next_id = 0;
+  for (int round = 0; round < 4000; ++round) {
+    if (live.empty() || rng.OneIn(0.6)) {
+      const float x = static_cast<float>(rng.UniformDouble(0, 100));
+      const float y = static_cast<float>(rng.UniformDouble(0, 100));
+      const RectF r(x, y, x + 1, y + 1, next_id++);
+      ASSERT_TRUE(tree.Insert(r).ok());
+      live.push_back(r);
+    } else {
+      const size_t victim = rng.Uniform(live.size());
+      ASSERT_TRUE(tree.Delete(live[victim]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_EQ(tree.meta().entry_count, live.size());
+  std::vector<RectF> all;
+  ASSERT_TRUE(tree.CollectAll(&all).ok());
+  auto key = [](const RectF& r) { return r.id; };
+  std::vector<ObjectId> got, want;
+  for (const RectF& r : all) got.push_back(key(r));
+  for (const RectF& r : live) want.push_back(key(r));
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(RTreeDeleteTest, BulkLoadedTreeSupportsDeletes) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const auto rects = UniformRects(3000, RectF(0, 0, 100, 100), 1.0f, 5);
+  auto tree_pager = td.NewPager("tree");
+  auto scratch = td.NewPager("scratch");
+  const DatasetRef ref = MakeDataset(&td, rects, "d", &keep);
+  RTreeParams params;
+  params.max_entries = 32;
+  auto tree = RTree::BulkLoadHilbert(tree_pager.get(), ref.range,
+                                     scratch.get(), params, 1 << 22);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree->Delete(rects[i]).ok()) << i;
+  }
+  EXPECT_EQ(tree->meta().entry_count, 2500u);
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+}
+
+}  // namespace
+}  // namespace sj

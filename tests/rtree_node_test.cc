@@ -1,0 +1,113 @@
+#include "rtree/node.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sj {
+namespace {
+
+TEST(NodeLayout, CapacityAndHeaderSize) {
+  EXPECT_EQ(sizeof(NodeHeader), 8u);
+  // (8192 - 8) / 20 = 409: one page holds a fanout-400 node with room.
+  EXPECT_EQ(kNodeCapacity, 409u);
+}
+
+TEST(NodeBuilder, ResetInitializesEmptyNode) {
+  uint8_t page[kPageSize];
+  std::memset(page, 0xFF, kPageSize);  // Garbage.
+  NodeBuilder builder(page);
+  builder.Reset(3);
+  EXPECT_EQ(builder.level(), 3);
+  EXPECT_EQ(builder.count(), 0u);
+  const NodeView view(page);
+  EXPECT_EQ(view.level(), 3);
+  EXPECT_FALSE(view.IsLeaf());
+  EXPECT_EQ(view.count(), 0u);
+}
+
+TEST(NodeBuilder, AppendAndReadBack) {
+  uint8_t page[kPageSize];
+  NodeBuilder builder(page);
+  builder.Reset(0);
+  for (uint32_t i = 0; i < 100; ++i) {
+    builder.Append(RectF(static_cast<float>(i), 0, static_cast<float>(i + 1),
+                         1, i));
+  }
+  EXPECT_EQ(builder.count(), 100u);
+  const NodeView view(page);
+  EXPECT_TRUE(view.IsLeaf());
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(view.Entry(i).id, i);
+    EXPECT_EQ(view.Entry(i).xlo, static_cast<float>(i));
+  }
+}
+
+TEST(NodeBuilder, SetEntryOverwritesInPlace) {
+  uint8_t page[kPageSize];
+  NodeBuilder builder(page);
+  builder.Reset(1);
+  builder.Append(RectF(0, 0, 1, 1, 10));
+  builder.Append(RectF(2, 2, 3, 3, 20));
+  builder.SetEntry(0, RectF(9, 9, 10, 10, 99));
+  EXPECT_EQ(builder.Entry(0).id, 99u);
+  EXPECT_EQ(builder.Entry(1).id, 20u);
+  EXPECT_EQ(builder.count(), 2u);
+}
+
+TEST(NodeBuilder, RemoveEntrySwapsLast) {
+  uint8_t page[kPageSize];
+  NodeBuilder builder(page);
+  builder.Reset(0);
+  builder.Append(RectF(0, 0, 1, 1, 1));
+  builder.Append(RectF(0, 0, 1, 1, 2));
+  builder.Append(RectF(0, 0, 1, 1, 3));
+  builder.RemoveEntry(0);
+  EXPECT_EQ(builder.count(), 2u);
+  EXPECT_EQ(builder.Entry(0).id, 3u);  // Last swapped in.
+  EXPECT_EQ(builder.Entry(1).id, 2u);
+  builder.RemoveEntry(1);  // Remove the (new) last entry.
+  EXPECT_EQ(builder.count(), 1u);
+  EXPECT_EQ(builder.Entry(0).id, 3u);
+}
+
+TEST(NodeView, ComputeMbrCoversEntries) {
+  uint8_t page[kPageSize];
+  NodeBuilder builder(page);
+  builder.Reset(0);
+  builder.Append(RectF(1, 2, 3, 4, 1));
+  builder.Append(RectF(-5, 0, 0, 9, 2));
+  const RectF mbr = NodeView(page).ComputeMbr();
+  EXPECT_EQ(mbr.xlo, -5);
+  EXPECT_EQ(mbr.ylo, 0);
+  EXPECT_EQ(mbr.xhi, 3);
+  EXPECT_EQ(mbr.yhi, 9);
+}
+
+TEST(NodeBuilder, FullAtConfiguredFanout) {
+  uint8_t page[kPageSize];
+  NodeBuilder builder(page);
+  builder.Reset(0);
+  for (uint32_t i = 0; i < 400; ++i) builder.Append(RectF(0, 0, 1, 1, i));
+  EXPECT_TRUE(builder.Full(400));
+  EXPECT_FALSE(builder.Full(409));
+  builder.Append(RectF(0, 0, 1, 1, 400));  // Up to hard capacity is fine.
+  EXPECT_EQ(builder.count(), 401u);
+}
+
+TEST(NodeView, RoundTripsThroughRawBytes) {
+  // Serialize / deserialize through a byte copy (as the pager does).
+  uint8_t page[kPageSize];
+  NodeBuilder builder(page);
+  builder.Reset(2);
+  builder.Append(RectF(1, 1, 2, 2, 77));
+  uint8_t copy[kPageSize];
+  std::memcpy(copy, page, kPageSize);
+  const NodeView view(copy);
+  EXPECT_EQ(view.level(), 2);
+  EXPECT_EQ(view.count(), 1u);
+  EXPECT_EQ(view.Entry(0).id, 77u);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,55 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace sj {
+namespace {
+
+TEST(Segment, MbrNormalizesCorners) {
+  const Segment s(5, 7, 1, 2);
+  const RectF mbr = s.Mbr(42);
+  EXPECT_EQ(mbr.xlo, 1);
+  EXPECT_EQ(mbr.ylo, 2);
+  EXPECT_EQ(mbr.xhi, 5);
+  EXPECT_EQ(mbr.yhi, 7);
+  EXPECT_EQ(mbr.id, 42u);
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(0, 0, 10, 10), Segment(0, 10, 10, 0)));
+  EXPECT_TRUE(SegmentsIntersect(Segment(-5, 0, 5, 0), Segment(0, -5, 0, 5)));
+}
+
+TEST(SegmentsIntersect, DisjointButMbrOverlapping) {
+  // The canonical filter-step false positive: MBRs intersect, segments do
+  // not — exactly what the refinement step must reject.
+  const Segment a(0, 0, 10, 10);
+  const Segment b(6, 0, 10, 4);
+  EXPECT_TRUE(a.Mbr().Intersects(b.Mbr()));
+  EXPECT_FALSE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentsIntersect, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(0, 0, 5, 5), Segment(5, 5, 9, 1)));
+  EXPECT_TRUE(SegmentsIntersect(Segment(0, 0, 5, 5), Segment(3, 3, 9, 1)));
+}
+
+TEST(SegmentsIntersect, CollinearOverlapAndGap) {
+  EXPECT_TRUE(SegmentsIntersect(Segment(0, 0, 5, 0), Segment(3, 0, 9, 0)));
+  EXPECT_TRUE(SegmentsIntersect(Segment(0, 0, 5, 0), Segment(5, 0, 9, 0)));
+  EXPECT_FALSE(SegmentsIntersect(Segment(0, 0, 4, 0), Segment(5, 0, 9, 0)));
+}
+
+TEST(SegmentsIntersect, ParallelNonCollinear) {
+  EXPECT_FALSE(SegmentsIntersect(Segment(0, 0, 5, 0), Segment(0, 1, 5, 1)));
+}
+
+TEST(SegmentsIntersect, DegeneratePointSegments) {
+  const Segment point(2, 2, 2, 2);
+  EXPECT_TRUE(SegmentsIntersect(point, Segment(0, 0, 5, 5)));   // On it.
+  EXPECT_FALSE(SegmentsIntersect(point, Segment(0, 0, 5, 4)));  // Off it.
+  EXPECT_TRUE(SegmentsIntersect(point, point));
+}
+
+}  // namespace
+}  // namespace sj

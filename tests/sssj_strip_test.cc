@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "join/sssj.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sj {
+namespace {
+
+using testing_util::BruteForcePairs;
+using testing_util::MakeDataset;
+using testing_util::Sorted;
+using testing_util::TestDisk;
+
+/// Adversarial input for a plane sweep: tall, thin rectangles spanning the
+/// whole y-extent stay active for the entire sweep, so the interval
+/// structures hold *all* of them at once.
+std::vector<RectF> TallColumns(uint64_t n, float width, uint64_t seed,
+                               ObjectId base = 0) {
+  Random rng(seed);
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(rng.UniformDouble(0, 1000));
+    out.push_back(
+        RectF(x, 0, x + width, 1000, base + static_cast<ObjectId>(i)));
+  }
+  return out;
+}
+
+TEST(SSSJStrip, MatchesPlainSSSJOnBenignData) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const RectF region(0, 0, 300, 300);
+  const auto a = UniformRects(2000, region, 2.0f, 1);
+  const auto b = UniformRects(2000, region, 2.0f, 2);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+  CollectingSink sink;
+  auto stats = SSSJStripJoin(da, db, /*strips=*/8, &td.disk, JoinOptions(),
+                             &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
+  EXPECT_EQ(stats->partitions_total, 8u);
+}
+
+TEST(SSSJStrip, HandlesAdversarialDataThePlainSweepCannot) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const auto a = TallColumns(6000, 0.05f, 3);
+  const auto b = TallColumns(6000, 0.05f, 4);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+
+  JoinOptions tiny;
+  tiny.memory_bytes = 64u << 10;  // 12000 always-active rects = 240 KB.
+
+  // The partitioned variant stays within budget and is exact.
+  CollectingSink sink;
+  auto stats = SSSJStripJoin(da, db, /*strips=*/16, &td.disk, tiny, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
+  EXPECT_LE(stats->max_sweep_bytes, tiny.memory_bytes);
+}
+
+TEST(SSSJStripDeathTest, PlainSweepDetectsStructureOverflow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TestDisk td;
+        std::vector<std::unique_ptr<Pager>> keep;
+        const auto a = TallColumns(6000, 0.05f, 3);
+        const auto b = TallColumns(6000, 0.05f, 4);
+        const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+        const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+        JoinOptions tiny;
+        tiny.memory_bytes = 64u << 10;
+        CountingSink sink;
+        SSSJJoin(da, db, &td.disk, tiny, &sink).status();
+      },
+      "exceeded memory");
+}
+
+TEST(SSSJStrip, WideRectanglesReplicateButReportOnce) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  // Rows spanning all strips crossed with columns: every pair intersects.
+  std::vector<RectF> rows, cols;
+  for (ObjectId i = 0; i < 40; ++i) {
+    rows.push_back(RectF(0, static_cast<float>(i * 10),
+                         1000, static_cast<float>(i * 10 + 5), i));
+    cols.push_back(RectF(static_cast<float>(i * 25), 0,
+                         static_cast<float>(i * 25 + 5), 1000, i));
+  }
+  const DatasetRef da = MakeDataset(&td, rows, "rows", &keep);
+  const DatasetRef db = MakeDataset(&td, cols, "cols", &keep);
+  CollectingSink sink;
+  auto stats = SSSJStripJoin(da, db, 16, &td.disk, JoinOptions(), &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(sink.pairs().size(), 40u * 40u);
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(rows, cols));
+}
+
+TEST(SSSJStrip, SingleStripEqualsPlain) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const auto a = UniformRects(800, RectF(0, 0, 50, 50), 1.0f, 5);
+  const auto b = UniformRects(800, RectF(0, 0, 50, 50), 1.0f, 6);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+  CollectingSink strip_sink, plain_sink;
+  ASSERT_TRUE(
+      SSSJStripJoin(da, db, 1, &td.disk, JoinOptions(), &strip_sink).ok());
+  ASSERT_TRUE(SSSJJoin(da, db, &td.disk, JoinOptions(), &plain_sink).ok());
+  EXPECT_EQ(Sorted(strip_sink.pairs()), Sorted(plain_sink.pairs()));
+}
+
+}  // namespace
+}  // namespace sj

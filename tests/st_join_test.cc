@@ -1,0 +1,138 @@
+#include "join/st_join.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::BruteForcePairs;
+using testing_util::MakeDataset;
+using testing_util::Sorted;
+using testing_util::TestDisk;
+
+class STFixture {
+ public:
+  RTree Build(const std::vector<RectF>& rects, uint32_t fanout,
+              const std::string& name) {
+    pagers_.push_back(td.NewPager("tree." + name));
+    Pager* tree_pager = pagers_.back().get();
+    auto scratch = td.NewPager("scratch." + name);
+    std::vector<std::unique_ptr<Pager>> keep;
+    const DatasetRef ref = MakeDataset(&td, rects, name, &keep);
+    RTreeParams params;
+    params.max_entries = fanout;
+    auto tree = RTree::BulkLoadHilbert(tree_pager, ref.range, scratch.get(),
+                                       params, 1 << 22);
+    SJ_CHECK(tree.ok()) << tree.status().ToString();
+    for (auto& p : keep) pagers_.push_back(std::move(p));
+    pagers_.push_back(std::move(scratch));
+    return std::move(tree).value();
+  }
+
+  TestDisk td;
+
+ private:
+  std::vector<std::unique_ptr<Pager>> pagers_;
+};
+
+TEST(STJoin, MatchesBruteForce) {
+  STFixture f;
+  const RectF region(0, 0, 400, 400);
+  const auto a = UniformRects(4000, region, 2.0f, 1);
+  const auto b = ClusteredRects(3000, region, 8, 15.0f, 2.0f, 2);
+  RTree ta = f.Build(a, 32, "a");
+  RTree tb = f.Build(b, 32, "b");
+  CollectingSink sink;
+  auto stats = STJoin(ta, tb, &f.td.disk, JoinOptions(), &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
+}
+
+TEST(STJoin, DifferentTreeHeights) {
+  STFixture f;
+  const RectF region(0, 0, 100, 100);
+  const auto a = UniformRects(6000, region, 1.0f, 3);  // Tall tree.
+  const auto b = UniformRects(40, region, 10.0f, 4);   // Root-only tree.
+  RTree ta = f.Build(a, 16, "a");
+  RTree tb = f.Build(b, 64, "b");
+  ASSERT_GT(ta.height(), tb.height());
+  CollectingSink sink;
+  auto stats = STJoin(ta, tb, &f.td.disk, JoinOptions(), &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
+
+  // And flipped.
+  CollectingSink sink2;
+  auto stats2 = STJoin(tb, ta, &f.td.disk, JoinOptions(), &sink2);
+  ASSERT_TRUE(stats2.ok());
+  std::vector<IdPair> flipped;
+  for (const IdPair& p : sink2.pairs()) flipped.push_back({p.b, p.a});
+  EXPECT_EQ(Sorted(std::move(flipped)), BruteForcePairs(a, b));
+}
+
+TEST(STJoin, DisjointTreesTouchNothing) {
+  STFixture f;
+  const auto a = UniformRects(2000, RectF(0, 0, 10, 10), 0.5f, 5);
+  const auto b = UniformRects(2000, RectF(100, 100, 110, 110), 0.5f, 6);
+  RTree ta = f.Build(a, 32, "a");
+  RTree tb = f.Build(b, 32, "b");
+  f.td.disk.ResetStats();
+  CountingSink sink;
+  auto stats = STJoin(ta, tb, &f.td.disk, JoinOptions(), &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output_count, 0u);
+  // Bounding boxes don't overlap: no node is ever read.
+  EXPECT_EQ(stats->index_pages_read, 0u);
+}
+
+TEST(STJoin, SmallTreesFitInPoolSoRequestsAtMostOnce) {
+  STFixture f;
+  const RectF region(0, 0, 200, 200);
+  const auto a = UniformRects(5000, region, 1.0f, 7);
+  const auto b = UniformRects(5000, region, 1.0f, 8);
+  RTree ta = f.Build(a, 32, "a");
+  RTree tb = f.Build(b, 32, "b");
+  f.td.disk.ResetStats();
+  CountingSink sink;
+  auto stats = STJoin(ta, tb, &f.td.disk, JoinOptions(), &sink);
+  ASSERT_TRUE(stats.ok());
+  // With the paper's 22 MB pool both trees fit: every page at most once,
+  // possibly fewer thanks to the search-space restriction (Table 4 NJ/NY).
+  EXPECT_LE(stats->index_pages_read, ta.node_count() + tb.node_count());
+  EXPECT_GT(stats->pool_hits, 0u);
+}
+
+TEST(STJoin, TinyPoolCausesRereadsButStaysCorrect) {
+  STFixture f;
+  const RectF region(0, 0, 200, 200);
+  const auto a = UniformRects(5000, region, 2.0f, 9);
+  const auto b = UniformRects(5000, region, 2.0f, 10);
+  RTree ta = f.Build(a, 16, "a");
+  RTree tb = f.Build(b, 16, "b");
+
+  JoinOptions small_pool;
+  small_pool.buffer_pool_pages = 4;
+  f.td.disk.ResetStats();
+  CollectingSink sink;
+  auto stats = STJoin(ta, tb, &f.td.disk, small_pool, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
+  // Thrashing: strictly more disk reads than tree pages.
+  EXPECT_GT(stats->index_pages_read, ta.node_count() + tb.node_count());
+}
+
+TEST(STJoin, EmptyTree) {
+  STFixture f;
+  RTree ta = f.Build(UniformRects(100, RectF(0, 0, 10, 10), 1.0f, 11), 32, "a");
+  RTree tb = f.Build({}, 32, "b");
+  CountingSink sink;
+  auto stats = STJoin(ta, tb, &f.td.disk, JoinOptions(), &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output_count, 0u);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,153 @@
+#include "sweep/interval_structures.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/synthetic.h"
+#include "sweep/sweep_join.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::BruteForcePairs;
+using testing_util::Sorted;
+
+/// Runs the sweep join over in-memory vectors with the given structure.
+template <typename Structure>
+std::vector<IdPair> SweepPairs(std::vector<RectF> a, std::vector<RectF> b,
+                               const RectF& extent, uint32_t strips) {
+  std::sort(a.begin(), a.end(), OrderByYLo());
+  std::sort(b.begin(), b.end(), OrderByYLo());
+  VectorRectSource sa(&a), sb(&b);
+  Structure active_a(extent, strips), active_b(extent, strips);
+  std::vector<IdPair> out;
+  SweepJoinRun(sa, sb, active_a, active_b,
+               [&out](const RectF& x, const RectF& y) {
+                 out.push_back({x.id, y.id});
+               },
+               [] {});
+  return Sorted(std::move(out));
+}
+
+struct SweepCase {
+  uint64_t na, nb;
+  float size_a, size_b;
+  uint32_t strips;
+  uint64_t seed;
+};
+
+class SweepStructureEquivalence : public ::testing::TestWithParam<SweepCase> {
+};
+
+TEST_P(SweepStructureEquivalence, BothStructuresMatchBruteForce) {
+  const SweepCase c = GetParam();
+  const RectF region(0, 0, 200, 200);
+  const auto a = UniformRects(c.na, region, c.size_a, c.seed);
+  const auto b = UniformRects(c.nb, region, c.size_b, c.seed + 1);
+  const auto expected = BruteForcePairs(a, b);
+  EXPECT_EQ(SweepPairs<ForwardSweep>(a, b, region, c.strips), expected);
+  EXPECT_EQ(SweepPairs<StripedSweep>(a, b, region, c.strips), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SweepStructureEquivalence,
+    ::testing::Values(SweepCase{0, 0, 1, 1, 16, 1},
+                      SweepCase{1, 1, 200, 200, 16, 2},  // Full overlap.
+                      SweepCase{100, 0, 1, 1, 16, 3},    // One side empty.
+                      SweepCase{500, 400, 2, 3, 1, 4},   // Single strip.
+                      SweepCase{500, 400, 2, 3, 1024, 5},
+                      SweepCase{300, 300, 50, 0.5, 64, 6},  // Wide rects.
+                      SweepCase{1000, 1000, 0, 0, 128, 7},  // Points.
+                      SweepCase{800, 700, 5, 5, 16, 8}));
+
+TEST(StripedSweep, DedupAcrossStrips) {
+  // Two rectangles spanning many strips still produce exactly one pair.
+  const RectF region(0, 0, 100, 100);
+  std::vector<RectF> a = {RectF(1, 10, 99, 12, 1)};
+  std::vector<RectF> b = {RectF(2, 11, 95, 13, 2)};
+  const auto pairs = SweepPairs<StripedSweep>(a, b, region, 64);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (IdPair{1, 2}));
+}
+
+TEST(StripedSweep, ClampsCoordinatesOutsideExtent) {
+  const RectF region(0, 0, 10, 10);
+  std::vector<RectF> a = {RectF(-50, 0, -40, 5, 1)};  // Entirely left.
+  std::vector<RectF> b = {RectF(-45, 1, -42, 4, 2)};
+  const auto pairs = SweepPairs<StripedSweep>(a, b, region, 8);
+  ASSERT_EQ(pairs.size(), 1u);  // Found in the clamped boundary strip.
+}
+
+TEST(ForwardSweep, ExpiryRemovesPassedRectangles) {
+  ForwardSweep sweep;
+  sweep.Insert(RectF(0, 0, 1, 1, 1));   // Dies at y=1.
+  sweep.Insert(RectF(0, 0, 1, 10, 2));  // Survives.
+  int hits = 0;
+  sweep.QueryAndExpire(RectF(0, 5, 1, 6, 99),
+                       [&](const RectF&) { hits++; });
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sweep.ActiveCount(), 1u);
+}
+
+TEST(ForwardSweep, RectEndingExactlyAtSweepLineStillActive) {
+  // Closed rectangles: yhi == q.ylo still intersects.
+  ForwardSweep sweep;
+  sweep.Insert(RectF(0, 0, 1, 5, 1));
+  int hits = 0;
+  sweep.QueryAndExpire(RectF(0, 5, 1, 6, 2), [&](const RectF&) { hits++; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(StripedSweep, MemoryAccountingTracksCopies) {
+  const RectF region(0, 0, 100, 100);
+  StripedSweep sweep(region, 10);  // Strip width 10.
+  sweep.Insert(RectF(0, 0, 100, 1, 1));  // All 10 strips.
+  EXPECT_EQ(sweep.ActiveCount(), 10u);
+  EXPECT_EQ(sweep.MemoryBytes(), 10 * sizeof(RectF));
+  sweep.Insert(RectF(5, 0, 6, 1, 2));  // One strip.
+  EXPECT_EQ(sweep.ActiveCount(), 11u);
+}
+
+TEST(StripedSweep, DegenerateExtentFallsBackToOneStrip) {
+  const RectF region(5, 0, 5, 10);  // Zero-width.
+  StripedSweep sweep(region, 100);
+  sweep.Insert(RectF(5, 0, 5, 10, 1));
+  int hits = 0;
+  sweep.QueryAndExpire(RectF(5, 1, 5, 2, 2), [&](const RectF&) { hits++; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(StripedSweep, AmortizedPurgeBoundsStaleEntries) {
+  // Insert many short-lived rects in strip 0 while querying only strip 9:
+  // the amortized purge must keep the structure from growing without
+  // bound.
+  const RectF region(0, 0, 100, 100);
+  StripedSweep sweep(region, 10);
+  for (int i = 0; i < 10000; ++i) {
+    const float y = static_cast<float>(i) * 0.01f;
+    sweep.Insert(RectF(1, y, 2, y + 0.005f, static_cast<ObjectId>(i)));
+  }
+  // All but the most recent handful have expired at y=100.
+  sweep.Insert(RectF(95, 100, 96, 100, 999999));
+  EXPECT_LT(sweep.ActiveCount(), 5000u);
+}
+
+TEST(SweepJoin, TracksMaxStructureSize) {
+  const RectF region(0, 0, 100, 100);
+  auto a = UniformRects(500, region, 3.0f, 31);
+  auto b = UniformRects(500, region, 3.0f, 32);
+  std::sort(a.begin(), a.end(), OrderByYLo());
+  std::sort(b.begin(), b.end(), OrderByYLo());
+  VectorRectSource sa(&a), sb(&b);
+  StripedSweep active_a(region, 16), active_b(region, 16);
+  const SweepRunStats stats = SweepJoinRun(
+      sa, sb, active_a, active_b, [](const RectF&, const RectF&) {}, [] {});
+  EXPECT_GT(stats.max_structure_bytes, 0u);
+  EXPECT_GT(stats.max_active, 0u);
+  EXPECT_EQ(stats.output_count, BruteForcePairs(a, b).size());
+}
+
+}  // namespace
+}  // namespace sj

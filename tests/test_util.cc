@@ -1,0 +1,36 @@
+#include "test_util.h"
+
+#include "geometry/extent.h"
+
+namespace sj {
+namespace testing_util {
+
+DatasetRef MakeDataset(TestDisk* td, const std::vector<RectF>& rects,
+                       const std::string& name,
+                       std::vector<std::unique_ptr<Pager>>* keepalive) {
+  auto pager = td->NewPager(name);
+  StreamWriter<RectF> writer(pager.get());
+  const PageId first = writer.first_page();
+  for (const RectF& r : rects) writer.Append(r);
+  auto n = writer.Finish();
+  DatasetRef ref;
+  ref.range = StreamRange{pager.get(), first, n.value()};
+  ref.extent = ComputeExtent(rects);
+  keepalive->push_back(std::move(pager));
+  return ref;
+}
+
+std::vector<IdPair> BruteForcePairs(const std::vector<RectF>& a,
+                                    const std::vector<RectF>& b) {
+  std::vector<IdPair> out;
+  for (const RectF& ra : a) {
+    for (const RectF& rb : b) {
+      if (ra.Intersects(rb)) out.push_back({ra.id, rb.id});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace sj

@@ -1,0 +1,49 @@
+#ifndef USJ_TESTS_TEST_UTIL_H_
+#define USJ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "io/disk_model.h"
+#include "io/pager.h"
+#include "io/stream.h"
+#include "join/join_types.h"
+#include "sort/external_sort.h"
+
+namespace sj {
+namespace testing_util {
+
+/// A DiskModel + pager bundle for tests (Machine 3 by default: fastest,
+/// so modeled times are small but nonzero).
+struct TestDisk {
+  TestDisk() : disk(MachineModel::Machine3()) {}
+  explicit TestDisk(MachineModel m) : disk(std::move(m)) {}
+
+  std::unique_ptr<Pager> NewPager(const std::string& name) {
+    return MakeMemoryPager(&disk, name);
+  }
+
+  DiskModel disk;
+};
+
+/// Writes rects as a stream on a fresh pager and returns the DatasetRef.
+DatasetRef MakeDataset(TestDisk* td, const std::vector<RectF>& rects,
+                       const std::string& name,
+                       std::vector<std::unique_ptr<Pager>>* keepalive);
+
+/// All intersecting cross pairs by brute force, sorted.
+std::vector<IdPair> BruteForcePairs(const std::vector<RectF>& a,
+                                    const std::vector<RectF>& b);
+
+/// Sorts a pair list (for order-insensitive comparison).
+inline std::vector<IdPair> Sorted(std::vector<IdPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace testing_util
+}  // namespace sj
+
+#endif  // USJ_TESTS_TEST_UTIL_H_
