@@ -218,6 +218,42 @@ Result<MultiwayStats> SpatialJoiner::MultiwayJoin(
     prepared.push_back(std::move(p));
     extent.ExtendTo(input.extent());
   }
+  if (options_.num_threads > 1) {
+    // Parallel path: materialize every prepared source as a y-sorted
+    // stream (index traversals included), then strip-partition the
+    // domain and join strips on the worker pool. The serial chain reads
+    // its sources lazily inside its own measurement, so the
+    // materialization pass here is measured too and folded into the
+    // returned stats — the counters must cover exactly the algorithm's
+    // own work either way.
+    JoinMeasurement materialize_measurement(disk_);
+    std::vector<std::unique_ptr<Pager>> stream_pagers;
+    std::vector<DatasetRef> streams;
+    stream_pagers.reserve(prepared.size());
+    streams.reserve(prepared.size());
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      auto pager = MakeMemoryPager(
+          disk_, "multiway.materialized." + std::to_string(i));
+      StreamWriter<RectF> writer(pager.get());
+      const PageId first = writer.first_page();
+      while (std::optional<RectF> r = prepared[i].source->Next()) {
+        writer.Append(*r);
+      }
+      SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
+      DatasetRef ref;
+      ref.range = StreamRange{pager.get(), first, n};
+      ref.extent = inputs[i].extent();
+      streams.push_back(ref);
+      stream_pagers.push_back(std::move(pager));
+    }
+    const JoinStats materialize = materialize_measurement.Finish();
+    SJ_ASSIGN_OR_RETURN(
+        MultiwayStats stats,
+        MultiwayJoinStreams(streams, extent, disk_, options_, sink));
+    stats.disk += materialize.disk;
+    stats.host_cpu_seconds += materialize.host_cpu_seconds;
+    return stats;
+  }
   std::vector<SortedRectSource*> sources;
   sources.reserve(prepared.size());
   for (PreparedSource& p : prepared) sources.push_back(p.source.get());

@@ -7,7 +7,7 @@
 
 namespace sj {
 
-Result<DatasetRef> WriteDataset(Pager* pager, std::span<const RectF> rects,
+Result<DatasetRef> WriteDataset(Pager* pager, Span<const RectF> rects,
                                 const std::string& name) {
   DatasetFileHeader header;
   header.count = rects.size();

@@ -1,13 +1,13 @@
 #ifndef USJ_DATAGEN_DATASET_FILE_H_
 #define USJ_DATAGEN_DATASET_FILE_H_
 
-#include <span>
 #include <string>
 
 #include "geometry/rect.h"
 #include "io/pager.h"
 #include "join/join_types.h"
 #include "util/result.h"
+#include "util/span.h"
 
 namespace sj {
 
@@ -28,7 +28,7 @@ struct DatasetFileHeader {
 
 /// Writes `rects` (any order) as a dataset on `pager` starting at its
 /// current end; returns a ref to the stored records.
-Result<DatasetRef> WriteDataset(Pager* pager, std::span<const RectF> rects,
+Result<DatasetRef> WriteDataset(Pager* pager, Span<const RectF> rects,
                                 const std::string& name);
 
 /// Opens a dataset previously written at page `header_page` (0 for a

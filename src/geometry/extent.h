@@ -1,15 +1,14 @@
 #ifndef USJ_GEOMETRY_EXTENT_H_
 #define USJ_GEOMETRY_EXTENT_H_
 
-#include <span>
-
 #include "geometry/rect.h"
+#include "util/span.h"
 
 namespace sj {
 
 /// Returns the bounding rectangle of a set of rectangles; RectF::Empty()
 /// for an empty input. The returned rectangle's id is 0.
-inline RectF ComputeExtent(std::span<const RectF> rects) {
+inline RectF ComputeExtent(Span<const RectF> rects) {
   RectF extent = RectF::Empty();
   for (const RectF& r : rects) extent.ExtendTo(r);
   extent.id = 0;

@@ -24,9 +24,11 @@ struct BufferPoolStats {
 /// A least-recently-used page cache shared by any number of pagers (ST
 /// keeps the nodes of *both* R-trees in one pool, as in the paper).
 ///
-/// Single-threaded by design (the join algorithms are single streams of
-/// control, as in the paper). Get() copies the page into the caller's
-/// buffer, so eviction can never invalidate data a caller still holds.
+/// Single-threaded by design: only ST uses a pool, and ST is one stream
+/// of control, as in the paper. (The parallel engine's workers never
+/// share a pool — each runs against its own DiskModel shard.) Get()
+/// copies the page into the caller's buffer, so eviction can never
+/// invalidate data a caller still holds.
 class BufferPool {
  public:
   /// `capacity_pages` > 0.

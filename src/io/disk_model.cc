@@ -22,6 +22,19 @@ DiskStats DiskStats::operator-(const DiskStats& o) const {
   return d;
 }
 
+DiskStats& DiskStats::operator+=(const DiskStats& o) {
+  read_requests += o.read_requests;
+  sequential_read_requests += o.sequential_read_requests;
+  random_read_requests += o.random_read_requests;
+  write_requests += o.write_requests;
+  sequential_write_requests += o.sequential_write_requests;
+  random_write_requests += o.random_write_requests;
+  pages_read += o.pages_read;
+  pages_written += o.pages_written;
+  io_seconds += o.io_seconds;
+  return *this;
+}
+
 namespace {
 // One cache segment per 64 KB of on-disk buffer, at least two.
 constexpr double kSegmentKb = 64.0;

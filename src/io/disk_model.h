@@ -28,6 +28,9 @@ struct DiskStats {
   double io_seconds = 0.0;
 
   DiskStats operator-(const DiskStats& o) const;
+  /// Accumulates another disk's counters and modeled time (merging the
+  /// per-worker shards of a parallel join).
+  DiskStats& operator+=(const DiskStats& o);
 };
 
 /// Per-device (per logical file) page counters, for attribution of I/O to

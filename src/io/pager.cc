@@ -58,4 +58,17 @@ std::unique_ptr<Pager> MakeMemoryPager(DiskModel* disk, std::string name) {
                                  std::move(name));
 }
 
+std::unique_ptr<Pager> RehomePager(std::unique_ptr<Pager> pager,
+                                   DiskModel* disk) {
+  const uint64_t allocated = pager->page_count();
+  std::string name = pager->name();
+  auto out = std::make_unique<Pager>(pager->ReleaseBackend(), disk,
+                                     std::move(name));
+  // Allocated-but-unwritten tail pages (sparse) are not visible in the
+  // backend's page count; preserve the allocation watermark explicitly.
+  SJ_CHECK(allocated >= out->page_count());
+  out->Allocate(static_cast<uint32_t>(allocated - out->page_count()));
+  return out;
+}
+
 }  // namespace sj

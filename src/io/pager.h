@@ -39,6 +39,12 @@ class Pager {
   /// Reserves `npages` consecutive new pages; returns the first id.
   PageId Allocate(uint32_t npages);
 
+  /// Releases the storage backend; the pager must not be used afterwards.
+  /// Used by RehomePager() to move a finished file between DiskModels.
+  std::unique_ptr<StorageBackend> ReleaseBackend() {
+    return std::move(backend_);
+  }
+
   /// Pages allocated so far (>= backend page count until they are written).
   uint64_t page_count() const { return allocated_; }
 
@@ -56,6 +62,14 @@ class Pager {
 
 /// Convenience factory: a memory-backed pager on `disk`.
 std::unique_ptr<Pager> MakeMemoryPager(DiskModel* disk, std::string name);
+
+/// Moves a finished file onto another DiskModel: the returned pager owns
+/// `pager`'s backend (same bytes, same page ids, same allocation count)
+/// but charges its I/O to `disk`. This is how the parallel join engine
+/// hands a partition file written on the shared disk to a worker whose
+/// modeled I/O accumulates on a private shard.
+std::unique_ptr<Pager> RehomePager(std::unique_ptr<Pager> pager,
+                                   DiskModel* disk);
 
 }  // namespace sj
 

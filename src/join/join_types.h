@@ -45,13 +45,25 @@ struct JoinOptions {
   /// sweep directly instead of materializing the sorted stream, saving one
   /// write and one read pass over each input.
   bool fuse_merge_sweep = false;
+  /// Worker threads for the parallel phases (PBSM partition pairs, SSSJ
+  /// strips, multiway strips). 1 = serial. Each parallel unit runs against
+  /// a private DiskModel shard and a private sink that are merged in unit
+  /// order afterwards, so output pairs and modeled I/O stats are identical
+  /// for every value of this knob.
+  uint32_t num_threads = 1;
+  /// Vertical strips for the parallel multiway path. Fixed (instead of
+  /// derived from num_threads) so the decomposition — and with it the
+  /// result order and modeled I/O — does not change with the thread count.
+  uint32_t multiway_strips = 64;
 };
 
 /// Everything measured about one join execution.
 ///
-/// I/O counters are deltas of the experiment's DiskModel, so they cover
-/// exactly the algorithm's own work. CPU is host-thread CPU time; the
-/// MachineModel's slowdown converts it to modeled 1999-hardware seconds.
+/// I/O counters are deltas of the experiment's DiskModel (plus, for
+/// parallel runs, the summed per-worker shards), so they cover exactly
+/// the algorithm's own work. CPU is host CPU time — the driving thread
+/// plus any pool workers; the MachineModel's slowdown converts it to
+/// modeled 1999-hardware seconds.
 struct JoinStats {
   uint64_t output_count = 0;
   double host_cpu_seconds = 0.0;

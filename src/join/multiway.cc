@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
 
+#include "join/strip_map.h"
 #include "sweep/sweep_join.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace sj {
 namespace {
@@ -75,6 +79,64 @@ class PairSourceImpl final : public PairSourceBase {
   std::vector<IdPair> pairs_;
 };
 
+struct ChainRunStats {
+  uint64_t output_count = 0;
+  size_t max_bytes = 0;
+};
+
+/// The left-deep chain shared by the serial and per-strip parallel paths:
+/// ((in0 x in1) x in2) x ...; all but the last stage are lazy pair
+/// sources. `accept(ra, rb)` filters final results before expansion (the
+/// parallel path uses it for the strip reference-point test); `ra` is the
+/// running intersection of inputs 0..k-2, so max(ra.xlo, rb.xlo) is the
+/// left edge of the full k-way intersection.
+template <typename Accept>
+ChainRunStats RunMultiwayChain(const std::vector<SortedRectSource*>& inputs,
+                               const RectF& extent, const JoinOptions& options,
+                               TupleSink* sink, Accept&& accept) {
+  std::vector<std::unique_ptr<PairSourceBase>> chain;
+  SortedRectSource* left = inputs[0];
+  for (size_t i = 1; i + 1 < inputs.size(); ++i) {
+    chain.push_back(MakePairSource(left, inputs[i], options.stream_sweep,
+                                   extent, options.striped_strips));
+    left = chain.back().get();
+  }
+  SortedRectSource* right = inputs.back();
+
+  // Expands a composite id from chain stage `depth` (0 = raw input 0).
+  std::vector<ObjectId> tuple;
+  auto expand = [&](auto&& self, size_t depth, ObjectId id) -> void {
+    if (depth == 0) {
+      tuple.push_back(id);
+      return;
+    }
+    const IdPair& p = chain[depth - 1]->pairs()[id];
+    self(self, depth - 1, p.a);
+    tuple.push_back(p.b);
+  };
+
+  ChainRunStats stats;
+  auto emit = [&](const RectF& ra, const RectF& rb) {
+    if (!accept(ra, rb)) return;
+    tuple.clear();
+    expand(expand, chain.size(), ra.id);
+    tuple.push_back(rb.id);
+    sink->Emit(tuple);
+    stats.output_count++;
+  };
+  struct Adapter {
+    SortedRectSource* s;
+    std::optional<RectF> Next() { return s->Next(); }
+  } sa{left}, sb{right};
+  auto probe = [&]() {
+    stats.max_bytes =
+        std::max(stats.max_bytes, left->MemoryBytes() + right->MemoryBytes());
+  };
+  SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips, sa,
+                    sb, emit, probe);
+  return stats;
+}
+
 }  // namespace
 
 std::unique_ptr<PairSourceBase> MakePairSource(SortedRectSource* a,
@@ -97,52 +159,143 @@ Result<MultiwayStats> MultiwayJoinSources(
   }
   JoinMeasurement measurement(disk);
 
-  // Left-deep chain: ((in0 x in1) x in2) x ...; all but the last stage are
-  // lazy pair sources.
-  std::vector<std::unique_ptr<PairSourceBase>> chain;
-  SortedRectSource* left = inputs[0];
-  for (size_t i = 1; i + 1 < inputs.size(); ++i) {
-    chain.push_back(MakePairSource(left, inputs[i], options.stream_sweep,
-                                   extent, options.striped_strips));
-    left = chain.back().get();
-  }
-  SortedRectSource* right = inputs.back();
-
-  // Expands a composite id from chain stage `depth` (0 = raw input 0).
-  std::vector<ObjectId> tuple;
-  auto expand = [&](auto&& self, size_t depth, ObjectId id) -> void {
-    if (depth == 0) {
-      tuple.push_back(id);
-      return;
-    }
-    const IdPair& p = chain[depth - 1]->pairs()[id];
-    self(self, depth - 1, p.a);
-    tuple.push_back(p.b);
-  };
-
-  uint64_t output = 0;
-  size_t max_bytes = 0;
-  auto emit = [&](const RectF& ra, const RectF& rb) {
-    tuple.clear();
-    expand(expand, chain.size(), ra.id);
-    tuple.push_back(rb.id);
-    sink->Emit(tuple);
-    output++;
-  };
-  struct Adapter {
-    SortedRectSource* s;
-    std::optional<RectF> Next() { return s->Next(); }
-  } sa{left}, sb{right};
-  auto probe = [&]() {
-    max_bytes = std::max(max_bytes, left->MemoryBytes() + right->MemoryBytes());
-  };
-  SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips, sa,
-                    sb, emit, probe);
+  const ChainRunStats run = RunMultiwayChain(
+      inputs, extent, options, sink,
+      [](const RectF&, const RectF&) { return true; });
 
   MultiwayStats stats;
   const JoinStats base = measurement.Finish();
   stats.host_cpu_seconds = base.host_cpu_seconds;
   stats.disk = base.disk;
+  stats.output_count = run.output_count;
+  stats.max_bytes = run.max_bytes;
+  return stats;
+}
+
+Result<MultiwayStats> MultiwayJoinStreams(const std::vector<DatasetRef>& inputs,
+                                          const RectF& extent, DiskModel* disk,
+                                          const JoinOptions& options,
+                                          TupleSink* sink) {
+  if (inputs.size() < 2) {
+    return Status::InvalidArgument("multiway join needs at least 2 inputs");
+  }
+  JoinMeasurement measurement(disk);
+  const StripMap map(extent, options.multiway_strips);
+  const size_t k = inputs.size();
+
+  // Phase 1 (serial, shared disk): replicate every input into the strips
+  // it overlaps. Inputs are y-sorted and distribution preserves order, so
+  // each strip file is itself a valid sorted source.
+  struct StripFiles {
+    std::vector<std::unique_ptr<Pager>> pagers;  // One per input.
+    std::vector<StreamRange> ranges;
+  };
+  std::vector<StripFiles> strips(map.strips());
+  for (StripFiles& s : strips) {
+    s.pagers.resize(k);
+    s.ranges.resize(k);
+  }
+  for (size_t in = 0; in < k; ++in) {
+    std::vector<std::unique_ptr<StreamWriter<RectF>>> writers(map.strips());
+    for (uint32_t s = 0; s < map.strips(); ++s) {
+      strips[s].pagers[in] = MakeMemoryPager(
+          disk, "multiway.strip." + std::to_string(s) + "." +
+                    std::to_string(in));
+      writers[s] = std::make_unique<StreamWriter<RectF>>(
+          strips[s].pagers[in].get(), /*block_pages=*/4);
+    }
+    StreamReader<RectF> reader(inputs[in].range.pager,
+                               inputs[in].range.first_page,
+                               inputs[in].range.count);
+    while (std::optional<RectF> r = reader.Next()) {
+      const uint32_t s0 = map.StripOf(r->xlo);
+      const uint32_t s1 = map.StripOf(r->xhi);
+      for (uint32_t s = s0; s <= s1; ++s) writers[s]->Append(*r);
+    }
+    for (uint32_t s = 0; s < map.strips(); ++s) {
+      const PageId first = writers[s]->first_page();
+      SJ_ASSIGN_OR_RETURN(uint64_t n, writers[s]->Finish());
+      strips[s].ranges[in] =
+          StreamRange{strips[s].pagers[in].get(), first, n};
+    }
+  }
+
+  // Phase 2: one chain per strip against a private shard; a tuple is
+  // reported only in the strip owning the left edge of its full k-way
+  // intersection. Stats merge as in PBSM: identical for any num_threads.
+  struct StripTask {
+    std::unique_ptr<DiskModel> disk;
+    StripFiles files;
+    CollectingTupleSink sink;
+    uint64_t output = 0;
+    size_t max_bytes = 0;
+    double cpu_seconds = 0;
+  };
+  // Inline runs (same condition as ParallelFor's) stream tuples straight
+  // to the caller's sink in strip order; only pooled runs buffer.
+  const bool pooled = options.num_threads > 1 && map.strips() > 1;
+  std::vector<StripTask> tasks(map.strips());
+  for (uint32_t s = 0; s < map.strips(); ++s) {
+    StripTask& t = tasks[s];
+    t.disk = std::make_unique<DiskModel>(disk->machine());
+    t.files.pagers.resize(k);
+    t.files.ranges.resize(k);
+    for (size_t in = 0; in < k; ++in) {
+      t.files.pagers[in] =
+          RehomePager(std::move(strips[s].pagers[in]), t.disk.get());
+      t.files.ranges[in] = StreamRange{t.files.pagers[in].get(),
+                                       strips[s].ranges[in].first_page,
+                                       strips[s].ranges[in].count};
+    }
+  }
+
+  SJ_RETURN_IF_ERROR(ParallelFor(
+      options.num_threads, map.strips(), [&](uint64_t s) -> Status {
+        StripTask& t = tasks[s];
+        ThreadCpuTimer cpu;
+        TupleSink* out = pooled ? static_cast<TupleSink*>(&t.sink) : sink;
+        std::vector<std::unique_ptr<SortedStreamSource>> sources;
+        std::vector<SortedRectSource*> source_ptrs;
+        sources.reserve(k);
+        source_ptrs.reserve(k);
+        for (size_t in = 0; in < k; ++in) {
+          sources.push_back(
+              std::make_unique<SortedStreamSource>(t.files.ranges[in]));
+          source_ptrs.push_back(sources.back().get());
+        }
+        const ChainRunStats run = RunMultiwayChain(
+            source_ptrs, extent, options, out,
+            [&](const RectF& ra, const RectF& rb) {
+              return map.StripOf(std::max(ra.xlo, rb.xlo)) == s;
+            });
+        t.output = run.output_count;
+        t.max_bytes = run.max_bytes;
+        t.cpu_seconds = cpu.Elapsed();
+        return Status::OK();
+      }));
+
+  uint64_t output = 0;
+  size_t max_bytes = 0;
+  double worker_cpu = 0;
+  DiskStats shard_disk;
+  for (const StripTask& t : tasks) {
+    if (pooled) {
+      for (const std::vector<ObjectId>& tuple : t.sink.tuples()) {
+        sink->Emit(tuple);
+      }
+    }
+    output += t.output;
+    max_bytes = std::max(max_bytes, t.max_bytes);
+    worker_cpu += t.cpu_seconds;
+    shard_disk += t.disk->stats();
+  }
+
+  MultiwayStats stats;
+  const JoinStats base = measurement.Finish();
+  stats.host_cpu_seconds = base.host_cpu_seconds;
+  if (pooled) stats.host_cpu_seconds += worker_cpu;
+  stats.disk = base.disk;
+  stats.disk += shard_disk;
   stats.output_count = output;
   stats.max_bytes = max_bytes;
   return stats;

@@ -75,6 +75,18 @@ Result<MultiwayStats> MultiwayJoinSources(
     const std::vector<SortedRectSource*>& inputs, const RectF& extent,
     DiskModel* disk, const JoinOptions& options, TupleSink* sink);
 
+/// Parallel k-way intersection join over *materialized y-sorted streams*:
+/// the sweep domain is cut into options.multiway_strips vertical strips,
+/// each strip runs the left-deep chain independently (on a worker pool of
+/// options.num_threads), and duplicates are suppressed by reporting a
+/// tuple only in the strip owning the left edge of its k-way
+/// intersection. Tuples arrive at `sink` in strip order; results and
+/// modeled I/O stats are identical for every num_threads.
+Result<MultiwayStats> MultiwayJoinStreams(const std::vector<DatasetRef>& inputs,
+                                          const RectF& extent, DiskModel* disk,
+                                          const JoinOptions& options,
+                                          TupleSink* sink);
+
 }  // namespace sj
 
 #endif  // USJ_JOIN_MULTIWAY_H_

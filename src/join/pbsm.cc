@@ -6,6 +6,8 @@
 
 #include "sort/external_sort.h"
 #include "sweep/sweep_join.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace sj {
 namespace {
@@ -149,57 +151,117 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   SJ_RETURN_IF_ERROR(DistributeInput(b, grid, &files_b));
 
   // Phase 2: join each partition with a plane sweep, suppressing
-  // cross-partition duplicates via the reference-point test.
+  // cross-partition duplicates via the reference-point test. Partition
+  // pairs are independent, so each one is a task: its partition files are
+  // re-homed onto a private DiskModel shard and its results buffered in a
+  // private sink. A shard starts from fresh disk state, so its modeled
+  // I/O depends only on the task's own request sequence — never on which
+  // thread ran it or what ran concurrently — and the merged stats and
+  // output below are identical for every options.num_threads.
+  struct PartitionTask {
+    std::unique_ptr<DiskModel> disk;
+    std::unique_ptr<Pager> pager_a, pager_b;
+    StreamRange range_a, range_b;
+    CollectingSink sink;
+    uint64_t output = 0;
+    size_t max_sweep_bytes = 0;
+    uint64_t part_bytes = 0;
+    bool overflowed = false;
+    double cpu_seconds = 0;
+  };
+  // Matches ParallelFor's inline condition: when tasks run one after
+  // another on this thread, pairs stream straight to the caller's sink
+  // (in the same partition order the pooled merge below replays them),
+  // so serial runs keep O(1) result buffering.
+  const bool pooled = options.num_threads > 1 && p > 1;
+  std::vector<PartitionTask> tasks(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    PartitionTask& t = tasks[i];
+    t.disk = std::make_unique<DiskModel>(disk->machine());
+    t.pager_a = RehomePager(std::move(files_a[i].pager), t.disk.get());
+    t.pager_b = RehomePager(std::move(files_b[i].pager), t.disk.get());
+    t.range_a = StreamRange{t.pager_a.get(), files_a[i].range.first_page,
+                            files_a[i].range.count};
+    t.range_b = StreamRange{t.pager_b.get(), files_b[i].range.first_page,
+                            files_b[i].range.count};
+  }
+
+  SJ_RETURN_IF_ERROR(ParallelFor(
+      options.num_threads, p, [&](uint64_t i) -> Status {
+        PartitionTask& t = tasks[i];
+        ThreadCpuTimer cpu;
+        JoinSink* out = pooled ? static_cast<JoinSink*>(&t.sink) : sink;
+        auto emit = [&](const RectF& ra, const RectF& rb) {
+          if (grid.ReferencePartition(ra, rb) == i) {
+            out->Emit(ra.id, rb.id);
+            t.output++;
+          }
+        };
+        SweepRunStats sweep_stats;
+        t.part_bytes = (t.range_a.count + t.range_b.count) * sizeof(RectF);
+        if (t.part_bytes <= options.memory_bytes) {
+          SJ_ASSIGN_OR_RETURN(std::vector<RectF> ra, ReadAll(t.range_a));
+          SJ_ASSIGN_OR_RETURN(std::vector<RectF> rb, ReadAll(t.range_b));
+          std::sort(ra.begin(), ra.end(), OrderByYLo());
+          std::sort(rb.begin(), rb.end(), OrderByYLo());
+          VectorRectSource sa(&ra), sb(&rb);
+          sweep_stats =
+              SweepJoinWithKind(options.partition_sweep, extent,
+                                options.striped_strips, sa, sb, emit);
+          // The deduplicating sweep may double-count in sweep_stats; the
+          // sink's pair count is authoritative.
+        } else {
+          // Overflow fallback: external sort this partition and sweep the
+          // sorted streams.
+          t.overflowed = true;
+          auto scratch = MakeMemoryPager(t.disk.get(),
+                                         "pbsm.overflow." + std::to_string(i));
+          SJ_ASSIGN_OR_RETURN(
+              StreamRange sa_range,
+              SortRectsByYLo(t.range_a, scratch.get(), scratch.get(),
+                             options.memory_bytes / 2));
+          SJ_ASSIGN_OR_RETURN(
+              StreamRange sb_range,
+              SortRectsByYLo(t.range_b, scratch.get(), scratch.get(),
+                             options.memory_bytes / 2));
+          StreamReader<RectF> reader_a(sa_range.pager, sa_range.first_page,
+                                       sa_range.count);
+          StreamReader<RectF> reader_b(sb_range.pager, sb_range.first_page,
+                                       sb_range.count);
+          sweep_stats = SweepJoinWithKind(options.partition_sweep, extent,
+                                          options.striped_strips, reader_a,
+                                          reader_b, emit);
+        }
+        t.max_sweep_bytes = sweep_stats.max_structure_bytes;
+        t.cpu_seconds = cpu.Elapsed();
+        return Status::OK();
+      }));
+
+  // Deterministic merge, in partition order.
   uint64_t output = 0;
   size_t max_sweep = 0;
   size_t max_partition_bytes = 0;
   uint32_t overflowed = 0;
-  for (uint32_t i = 0; i < p; ++i) {
-    auto emit = [&](const RectF& ra, const RectF& rb) {
-      if (grid.ReferencePartition(ra, rb) == i) {
-        sink->Emit(ra.id, rb.id);
-        output++;
-      }
-    };
-    SweepRunStats sweep_stats;
-    const uint64_t part_bytes =
-        (files_a[i].range.count + files_b[i].range.count) * sizeof(RectF);
-    max_partition_bytes = std::max<size_t>(max_partition_bytes, part_bytes);
-    if (part_bytes <= options.memory_bytes) {
-      SJ_ASSIGN_OR_RETURN(std::vector<RectF> ra, ReadAll(files_a[i].range));
-      SJ_ASSIGN_OR_RETURN(std::vector<RectF> rb, ReadAll(files_b[i].range));
-      std::sort(ra.begin(), ra.end(), OrderByYLo());
-      std::sort(rb.begin(), rb.end(), OrderByYLo());
-      VectorRectSource sa(&ra), sb(&rb);
-      sweep_stats = SweepJoinWithKind(options.partition_sweep, extent,
-                                      options.striped_strips, sa, sb, emit);
-      // The deduplicating sweep may double-count in sweep_stats; `output`
-      // above is authoritative.
-    } else {
-      // Overflow fallback: external sort this partition and sweep the
-      // sorted streams.
-      overflowed++;
-      auto scratch = MakeMemoryPager(disk, "pbsm.overflow." + std::to_string(i));
-      SJ_ASSIGN_OR_RETURN(
-          StreamRange sa_range,
-          SortRectsByYLo(files_a[i].range, scratch.get(), scratch.get(),
-                         options.memory_bytes / 2));
-      SJ_ASSIGN_OR_RETURN(
-          StreamRange sb_range,
-          SortRectsByYLo(files_b[i].range, scratch.get(), scratch.get(),
-                         options.memory_bytes / 2));
-      StreamReader<RectF> reader_a(sa_range.pager, sa_range.first_page,
-                                   sa_range.count);
-      StreamReader<RectF> reader_b(sb_range.pager, sb_range.first_page,
-                                   sb_range.count);
-      sweep_stats =
-          SweepJoinWithKind(options.partition_sweep, extent,
-                            options.striped_strips, reader_a, reader_b, emit);
+  double worker_cpu = 0;
+  DiskStats shard_disk;
+  for (const PartitionTask& t : tasks) {
+    if (pooled) {
+      for (const IdPair& pair : t.sink.pairs()) sink->Emit(pair.a, pair.b);
     }
-    max_sweep = std::max(max_sweep, sweep_stats.max_structure_bytes);
+    output += t.output;
+    max_sweep = std::max(max_sweep, t.max_sweep_bytes);
+    max_partition_bytes =
+        std::max<size_t>(max_partition_bytes, t.part_bytes);
+    if (t.overflowed) overflowed++;
+    worker_cpu += t.cpu_seconds;
+    shard_disk += t.disk->stats();
   }
 
   JoinStats stats = measurement.Finish();
+  stats.disk += shard_disk;
+  // Inline execution already ran on the measured thread; only pool
+  // workers' CPU needs adding.
+  if (pooled) stats.host_cpu_seconds += worker_cpu;
   stats.output_count = output;
   stats.max_sweep_bytes = max_sweep;
   stats.partitions_total = p;

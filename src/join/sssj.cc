@@ -2,8 +2,11 @@
 
 #include <memory>
 
+#include "join/strip_map.h"
 #include "sort/external_sort.h"
 #include "sweep/sweep_join.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace sj {
 namespace {
@@ -84,31 +87,6 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
 
 namespace {
 
-/// 1-D strip geometry for the partitioned fallback.
-class StripMap {
- public:
-  StripMap(const RectF& extent, uint32_t strips)
-      : xlo_(extent.xlo), strips_(std::max(1u, strips)) {
-    width_ = (extent.xhi - extent.xlo) / static_cast<float>(strips_);
-    if (!(width_ > 0.0f)) {
-      strips_ = 1;
-      width_ = 1.0f;
-    }
-  }
-
-  uint32_t StripOf(float x) const {
-    const float rel = (x - xlo_) / width_;
-    if (!(rel > 0.0f)) return 0;
-    return std::min(static_cast<uint32_t>(rel), strips_ - 1);
-  }
-  uint32_t strips() const { return strips_; }
-
- private:
-  float xlo_;
-  uint32_t strips_;
-  float width_;
-};
-
 struct StripFile {
   std::unique_ptr<Pager> pager;
   std::unique_ptr<StreamWriter<RectF>> writer;
@@ -158,38 +136,87 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   SJ_RETURN_IF_ERROR(DistributeToStrips(a, map, &files_a));
   SJ_RETURN_IF_ERROR(DistributeToStrips(b, map, &files_b));
 
+  // Strips are independent: each one sorts and sweeps against a private
+  // DiskModel shard and buffers its pairs in a private sink, merged in
+  // strip order below. Output and modeled I/O are therefore identical for
+  // every options.num_threads (see the PBSM phase-2 comment).
+  struct StripTask {
+    std::unique_ptr<DiskModel> disk;
+    std::unique_ptr<Pager> pager_a, pager_b;
+    StreamRange range_a, range_b;
+    CollectingSink sink;
+    uint64_t output = 0;
+    size_t max_sweep_bytes = 0;
+    double cpu_seconds = 0;
+  };
+  // Inline runs (same condition as ParallelFor's) stream pairs straight
+  // to the caller's sink in strip order; only pooled runs buffer.
+  const bool pooled = options.num_threads > 1 && map.strips() > 1;
+  std::vector<StripTask> tasks(map.strips());
+  for (uint32_t s = 0; s < map.strips(); ++s) {
+    StripTask& t = tasks[s];
+    t.disk = std::make_unique<DiskModel>(disk->machine());
+    t.pager_a = RehomePager(std::move(files_a[s].pager), t.disk.get());
+    t.pager_b = RehomePager(std::move(files_b[s].pager), t.disk.get());
+    t.range_a = StreamRange{t.pager_a.get(), files_a[s].range.first_page,
+                            files_a[s].range.count};
+    t.range_b = StreamRange{t.pager_b.get(), files_b[s].range.first_page,
+                            files_b[s].range.count};
+  }
+
+  SJ_RETURN_IF_ERROR(ParallelFor(
+      options.num_threads, map.strips(), [&](uint64_t s) -> Status {
+        StripTask& t = tasks[s];
+        ThreadCpuTimer cpu;
+        JoinSink* out = pooled ? static_cast<JoinSink*>(&t.sink) : sink;
+        auto scratch = MakeMemoryPager(t.disk.get(), "sssj.strip.scratch");
+        auto sorted = MakeMemoryPager(t.disk.get(), "sssj.strip.sorted");
+        SJ_ASSIGN_OR_RETURN(
+            StreamRange sa,
+            SortRectsByYLo(t.range_a, scratch.get(), sorted.get(),
+                           options.memory_bytes / 2));
+        SJ_ASSIGN_OR_RETURN(
+            StreamRange sb,
+            SortRectsByYLo(t.range_b, scratch.get(), sorted.get(),
+                           options.memory_bytes / 2));
+        StreamReader<RectF> reader_a(sa.pager, sa.first_page, sa.count);
+        StreamReader<RectF> reader_b(sb.pager, sb.first_page, sb.count);
+        auto emit = [&](const RectF& ra, const RectF& rb) {
+          // Report only in the strip owning the overlap's left edge.
+          if (map.StripOf(std::max(ra.xlo, rb.xlo)) == s) {
+            out->Emit(ra.id, rb.id);
+            t.output++;
+          }
+        };
+        const SweepRunStats sweep_stats =
+            SweepJoinWithKind(options.stream_sweep, extent,
+                              options.striped_strips, reader_a, reader_b,
+                              emit);
+        t.max_sweep_bytes = sweep_stats.max_structure_bytes;
+        SJ_CHECK(sweep_stats.max_structure_bytes <= options.memory_bytes)
+            << "strip" << s
+            << "still exceeds memory; increase the strip count";
+        t.cpu_seconds = cpu.Elapsed();
+        return Status::OK();
+      }));
+
   uint64_t output = 0;
   size_t max_sweep = 0;
-  for (uint32_t s = 0; s < map.strips(); ++s) {
-    auto scratch = MakeMemoryPager(disk, "sssj.strip.scratch");
-    auto sorted = MakeMemoryPager(disk, "sssj.strip.sorted");
-    SJ_ASSIGN_OR_RETURN(
-        StreamRange sa,
-        SortRectsByYLo(files_a[s].range, scratch.get(), sorted.get(),
-                       options.memory_bytes / 2));
-    SJ_ASSIGN_OR_RETURN(
-        StreamRange sb,
-        SortRectsByYLo(files_b[s].range, scratch.get(), sorted.get(),
-                       options.memory_bytes / 2));
-    StreamReader<RectF> reader_a(sa.pager, sa.first_page, sa.count);
-    StreamReader<RectF> reader_b(sb.pager, sb.first_page, sb.count);
-    auto emit = [&](const RectF& ra, const RectF& rb) {
-      // Report only in the strip owning the overlap's left edge.
-      if (map.StripOf(std::max(ra.xlo, rb.xlo)) == s) {
-        sink->Emit(ra.id, rb.id);
-        output++;
-      }
-    };
-    const SweepRunStats sweep_stats =
-        SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips,
-                          reader_a, reader_b, emit);
-    max_sweep = std::max(max_sweep, sweep_stats.max_structure_bytes);
-    SJ_CHECK(sweep_stats.max_structure_bytes <= options.memory_bytes)
-        << "strip" << s
-        << "still exceeds memory; increase the strip count";
+  double worker_cpu = 0;
+  DiskStats shard_disk;
+  for (const StripTask& t : tasks) {
+    if (pooled) {
+      for (const IdPair& pair : t.sink.pairs()) sink->Emit(pair.a, pair.b);
+    }
+    output += t.output;
+    max_sweep = std::max(max_sweep, t.max_sweep_bytes);
+    worker_cpu += t.cpu_seconds;
+    shard_disk += t.disk->stats();
   }
 
   JoinStats stats = measurement.Finish();
+  stats.disk += shard_disk;
+  if (pooled) stats.host_cpu_seconds += worker_cpu;
   stats.output_count = output;
   stats.max_sweep_bytes = max_sweep;
   stats.partitions_total = map.strips();

@@ -1,0 +1,42 @@
+#ifndef USJ_JOIN_STRIP_MAP_H_
+#define USJ_JOIN_STRIP_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "geometry/rect.h"
+
+namespace sj {
+
+/// 1-D vertical strip geometry shared by the partitioned join paths
+/// (SSSJ's strip fallback, the parallel multiway join): the sweep domain
+/// is cut into equal-width strips, a rectangle is replicated into every
+/// strip it overlaps, and a result is reported only in the strip owning
+/// the left edge of the overlap (the reference-point test).
+class StripMap {
+ public:
+  StripMap(const RectF& extent, uint32_t strips)
+      : xlo_(extent.xlo), strips_(std::max(1u, strips)) {
+    width_ = (extent.xhi - extent.xlo) / static_cast<float>(strips_);
+    if (!(width_ > 0.0f)) {
+      strips_ = 1;
+      width_ = 1.0f;
+    }
+  }
+
+  uint32_t StripOf(float x) const {
+    const float rel = (x - xlo_) / width_;
+    if (!(rel > 0.0f)) return 0;
+    return std::min(static_cast<uint32_t>(rel), strips_ - 1);
+  }
+  uint32_t strips() const { return strips_; }
+
+ private:
+  float xlo_;
+  uint32_t strips_;
+  float width_;
+};
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_STRIP_MAP_H_

@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace sj {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    task();  // Inline mode.
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain the queue fully even during shutdown so every submitted
+      // future becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future.
+  }
+}
+
+Status ParallelFor(uint32_t num_threads, uint64_t n,
+                   const std::function<Status(uint64_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (num_threads <= 1 || n == 1) {
+    for (uint64_t i = 0; i < n; ++i) {
+      Status s = fn(i);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  const uint32_t workers = static_cast<uint32_t>(
+      std::min<uint64_t>(num_threads, n));
+  std::vector<Status> statuses(n);
+  std::atomic<uint64_t> next{0};
+  std::atomic<bool> failed{false};
+
+  {
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      futures.push_back(pool.Submit([&] {
+        for (;;) {
+          const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n || failed.load(std::memory_order_relaxed)) return;
+          statuses[i] = fn(i);
+          if (!statuses[i].ok()) failed.store(true, std::memory_order_relaxed);
+        }
+      }));
+    }
+    std::exception_ptr first_exception;
+    for (std::future<void>& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_exception) first_exception = std::current_exception();
+      }
+    }
+    if (first_exception) std::rethrow_exception(first_exception);
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace sj

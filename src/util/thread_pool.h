@@ -1,0 +1,59 @@
+#ifndef USJ_UTIL_THREAD_POOL_H_
+#define USJ_UTIL_THREAD_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sj {
+
+/// A fixed-size pool of worker threads draining one shared FIFO queue.
+/// There is deliberately no work stealing: the join engine submits coarse
+/// units (partition pairs, strips), so a single queue sees no contention.
+///
+/// `num_threads == 0` degenerates to inline execution on the submitting
+/// thread, so callers can thread a `num_threads` knob straight through
+/// without special-casing serial runs.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`. The future becomes ready when the task finishes and
+  /// rethrows any exception the task body raised.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Number of worker threads (0 = inline mode).
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on up to `num_threads` workers
+/// (<= 1 means inline on the caller). Indices are claimed dynamically, but
+/// the reported error is the non-OK status with the *lowest index*, so the
+/// Status a caller sees never depends on thread scheduling. Once any task
+/// fails, unclaimed indices are abandoned. Task exceptions propagate to
+/// the caller.
+Status ParallelFor(uint32_t num_threads, uint64_t n,
+                   const std::function<Status(uint64_t)>& fn);
+
+}  // namespace sj
+
+#endif  // USJ_UTIL_THREAD_POOL_H_

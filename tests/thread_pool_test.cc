@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace sj {
+namespace {
+
+TEST(ThreadPool, CompletesAllTasks) {
+  for (const uint32_t threads : {0u, 1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.Submit([&done] { done.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(done.load(), 100) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_NE(ran_on, caller);
+}
+
+TEST(ThreadPool, PendingTasksFinishBeforeDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      // Futures dropped: destruction must still run every queued task.
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  for (const uint32_t threads : {0u, 2u}) {
+    ThreadPool pool(threads);
+    std::future<void> f =
+        pool.Submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(f.get(), std::runtime_error) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> visits(257);
+    const Status s = ParallelFor(threads, visits.size(), [&](uint64_t i) {
+      visits[i].fetch_add(1);
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok());
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsOk) {
+  EXPECT_TRUE(ParallelFor(4, 0, [](uint64_t) {
+                return Status::Internal("never called");
+              }).ok());
+}
+
+TEST(ParallelFor, ReturnsLowestIndexError) {
+  // Several tasks fail; the reported status must be the lowest-index one
+  // regardless of scheduling.
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    const Status s = ParallelFor(threads, 64, [&](uint64_t i) -> Status {
+      if (i == 7 || i == 40) {
+        return Status::Internal("fail " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.ToString().find("fail 7"), std::string::npos)
+        << "threads=" << threads << " got: " << s.ToString();
+  }
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  EXPECT_THROW(ParallelFor(4, 16,
+                           [](uint64_t i) -> Status {
+                             if (i == 5) throw std::runtime_error("boom");
+                             return Status::OK();
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sj
