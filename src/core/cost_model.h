@@ -1,6 +1,7 @@
 #ifndef USJ_CORE_COST_MODEL_H_
 #define USJ_CORE_COST_MODEL_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "io/disk_model.h"
@@ -23,11 +24,20 @@ class CostModel {
  public:
   explicit CostModel(MachineModel machine) : machine_(machine) {}
 
+  /// Sequential-read equivalents of the passes a streaming sort-and-sweep
+  /// makes over each input page: 3 reads plus 2 writes, writes costing
+  /// `write_factor` reads. Shared by SSSJSeconds and
+  /// IndexBreakEvenFraction — the paper's break-even rule is exactly
+  /// "streaming passes vs. the random/sequential read ratio", so the two
+  /// must always use the same constant.
+  double StreamingPassFactor() const {
+    return 3.0 + 2.0 * machine_.write_factor;
+  }
+
   /// Modeled seconds for SSSJ over `pages` total input pages.
   double SSSJSeconds(uint64_t pages) const {
     const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
-    return static_cast<double>(pages) *
-           (3.0 + 2.0 * machine_.write_factor) * seq;
+    return static_cast<double>(pages) * StreamingPassFactor() * seq;
   }
 
   /// Modeled seconds for a PQ traversal touching `index_pages` pages.
@@ -42,8 +52,27 @@ class CostModel {
   /// f* = (3 + 2w) / (random/sequential ratio); ~0.55-0.6 on the paper's
   /// Machine 1, matching the paper's "less than 60 % of the leaf nodes".
   double IndexBreakEvenFraction() const {
-    return (3.0 + 2.0 * machine_.write_factor) /
+    return StreamingPassFactor() /
            machine_.RandomToSequentialReadRatio(kPageSize);
+  }
+
+  /// Modeled seconds for the refinement step over `candidates` filter
+  /// pairs against feature stores of `pages_a` / `pages_b` geometry
+  /// pages, refined in batches of `batch_pairs`. A batch reads each
+  /// needed page once but batches do not share fetches, so per side the
+  /// touched pages are bounded by one page per candidate *and* by one
+  /// full store scan per batch; each fetch is priced as a random
+  /// single-page read (the candidates of one batch cluster in y, not on
+  /// disk pages).
+  double RefineSeconds(uint64_t candidates, uint64_t pages_a,
+                       uint64_t pages_b, uint32_t batch_pairs) const {
+    const double rand =
+        (machine_.avg_access_ms + machine_.PageTransferMs(kPageSize)) * 1e-3;
+    const uint64_t batch = std::max<uint64_t>(1, batch_pairs);
+    const uint64_t nbatches = (candidates + batch - 1) / batch;
+    const uint64_t touched = std::min(candidates, nbatches * pages_a) +
+                             std::min(candidates, nbatches * pages_b);
+    return static_cast<double>(touched) * rand;
   }
 
   /// True when traversing `touched_fraction` of an index beats streaming.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "refine/refine.h"
 #include "sort/external_sort.h"
+#include "util/timer.h"
 
 namespace sj {
 
@@ -37,16 +39,9 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
                                  const GridHistogram* hist_b) const {
   PlanDecision decision;
   const uint64_t total_pages = a.pages() + b.pages();
-  decision.stream_cost_seconds = cost_model_.SSSJSeconds(total_pages);
 
-  if (!a.indexed() && !b.indexed()) {
-    decision.algorithm = JoinAlgorithm::kSSSJ;
-    decision.rationale = "no index available; SSSJ streams both inputs";
-    return decision;
-  }
-
-  // Estimate the fraction of the indexed side(s) a traversal touches:
-  // prefer histogram mass, fall back to extent overlap area ratio.
+  // Estimate the fraction of each side a traversal touches: prefer
+  // histogram mass, fall back to extent overlap area ratio.
   auto touched = [&](const JoinInput& self, const JoinInput& other,
                      const GridHistogram* h_self,
                      const GridHistogram* h_other) -> double {
@@ -61,9 +56,28 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
   };
   const double frac_a = touched(a, b, hist_a, hist_b);
   const double frac_b = touched(b, a, hist_b, hist_a);
+
+  // The refinement I/O term (§6.3 extended to the filter-and-refine
+  // pipeline): every plan pays it equally, on top of its filter cost.
+  if (options_.refine && a.features() != nullptr && b.features() != nullptr) {
+    const uint64_t est_candidates = static_cast<uint64_t>(
+        std::max(frac_a, frac_b) *
+        static_cast<double>(std::min(a.count(), b.count())));
+    decision.refine_cost_seconds = cost_model_.RefineSeconds(
+        est_candidates, a.features()->data_pages(), b.features()->data_pages(),
+        options_.refine_batch_pairs);
+  }
+  decision.stream_cost_seconds =
+      cost_model_.SSSJSeconds(total_pages) + decision.refine_cost_seconds;
+
+  if (!a.indexed() && !b.indexed()) {
+    decision.algorithm = JoinAlgorithm::kSSSJ;
+    decision.rationale = "no index available; SSSJ streams both inputs";
+    return decision;
+  }
   // Pages a PQ plan reads: touched part of each index, whole stream sides
   // (which are also sorted: approximate with SSSJ-like handling per side).
-  double index_cost = 0.0;
+  double index_cost = decision.refine_cost_seconds;
   double max_frac = 0.0;
   if (a.indexed()) {
     index_cost += cost_model_.PQSeconds(
@@ -157,6 +171,41 @@ Result<JoinStats> SpatialJoiner::Join(const JoinInput& a, const JoinInput& b,
   if (algorithm == JoinAlgorithm::kAuto) {
     algorithm = Plan(a, b, hist_a, hist_b).algorithm;
   }
+  if (!options_.refine) {
+    SJ_ASSIGN_OR_RETURN(JoinStats stats,
+                        RunFilterJoin(a, b, sink, algorithm, hist_a, hist_b));
+    stats.candidate_count = stats.output_count;
+    return stats;
+  }
+  if (a.features() == nullptr || b.features() == nullptr) {
+    return Status::FailedPrecondition(
+        "options.refine requires FeatureStores on both inputs "
+        "(JoinInput::WithFeatures)");
+  }
+  // Filter step: the MBR join buffers candidates; refinement resolves
+  // them against exact geometry and forwards survivors to the caller.
+  CollectingSink candidates;
+  SJ_ASSIGN_OR_RETURN(
+      JoinStats stats,
+      RunFilterJoin(a, b, &candidates, algorithm, hist_a, hist_b));
+  ThreadCpuTimer refine_cpu;
+  SJ_ASSIGN_OR_RETURN(RefineStats refined,
+                      RefinePairs(candidates.pairs(), *a.features(),
+                                  *b.features(), options_, sink));
+  stats.candidate_count = refined.candidates;
+  stats.output_count = refined.results;
+  stats.refine_pages_read = refined.pages_read;
+  stats.disk += refined.disk;
+  stats.host_cpu_seconds += refine_cpu.Elapsed() + refined.host_cpu_seconds;
+  return stats;
+}
+
+Result<JoinStats> SpatialJoiner::RunFilterJoin(const JoinInput& a,
+                                               const JoinInput& b,
+                                               JoinSink* sink,
+                                               JoinAlgorithm algorithm,
+                                               const GridHistogram* hist_a,
+                                               const GridHistogram* hist_b) {
   switch (algorithm) {
     case JoinAlgorithm::kSSSJ:
     case JoinAlgorithm::kPBSM: {
@@ -210,6 +259,34 @@ Result<MultiwayStats> SpatialJoiner::MultiwayJoin(
   if (inputs.size() < 2) {
     return Status::InvalidArgument("multiway join needs at least 2 inputs");
   }
+  if (options_.refine) {
+    std::vector<const FeatureStore*> stores;
+    stores.reserve(inputs.size());
+    for (const JoinInput& input : inputs) {
+      if (input.features() == nullptr) {
+        return Status::FailedPrecondition(
+            "options.refine requires FeatureStores on all multiway inputs");
+      }
+      stores.push_back(input.features());
+    }
+    // Filter step without refinement, candidates buffered in memory.
+    JoinOptions filter_options = options_;
+    filter_options.refine = false;
+    SpatialJoiner filter_joiner(disk_, filter_options);
+    CollectingTupleSink candidates;
+    SJ_ASSIGN_OR_RETURN(MultiwayStats stats,
+                        filter_joiner.MultiwayJoin(inputs, &candidates));
+    ThreadCpuTimer refine_cpu;
+    SJ_ASSIGN_OR_RETURN(
+        RefineStats refined,
+        RefineTuples(candidates.tuples(), stores, options_, sink));
+    stats.candidate_count = refined.candidates;
+    stats.output_count = refined.results;
+    stats.refine_pages_read = refined.pages_read;
+    stats.disk += refined.disk;
+    stats.host_cpu_seconds += refine_cpu.Elapsed() + refined.host_cpu_seconds;
+    return stats;
+  }
   std::vector<PreparedSource> prepared;
   prepared.reserve(inputs.size());
   RectF extent = RectF::Empty();
@@ -252,12 +329,17 @@ Result<MultiwayStats> SpatialJoiner::MultiwayJoin(
         MultiwayJoinStreams(streams, extent, disk_, options_, sink));
     stats.disk += materialize.disk;
     stats.host_cpu_seconds += materialize.host_cpu_seconds;
+    stats.candidate_count = stats.output_count;
     return stats;
   }
   std::vector<SortedRectSource*> sources;
   sources.reserve(prepared.size());
   for (PreparedSource& p : prepared) sources.push_back(p.source.get());
-  return MultiwayJoinSources(sources, extent, disk_, options_, sink);
+  SJ_ASSIGN_OR_RETURN(
+      MultiwayStats stats,
+      MultiwayJoinSources(sources, extent, disk_, options_, sink));
+  stats.candidate_count = stats.output_count;
+  return stats;
 }
 
 }  // namespace sj

@@ -11,6 +11,7 @@
 #include "join/pq_join.h"
 #include "join/sssj.h"
 #include "join/st_join.h"
+#include "refine/feature_store.h"
 #include "rtree/rtree.h"
 #include "util/result.h"
 
@@ -34,10 +35,25 @@ class JoinInput {
     return JoinInput(Kind::kRTree, DatasetRef{}, tree);
   }
 
+  /// Attaches the relation's exact geometry (refinement step, see
+  /// JoinOptions::refine). The store must outlive the join. Chainable:
+  /// `JoinInput::FromStream(ref).WithFeatures(&store)` — the rvalue
+  /// overload returns by value, so chaining off a temporary never hands
+  /// out a dangling reference.
+  JoinInput& WithFeatures(const FeatureStore* store) & {
+    features_ = store;
+    return *this;
+  }
+  JoinInput WithFeatures(const FeatureStore* store) && {
+    features_ = store;
+    return *this;
+  }
+
   Kind kind() const { return kind_; }
   bool indexed() const { return kind_ == Kind::kRTree; }
   const DatasetRef& stream() const { return stream_; }
   const RTree* rtree() const { return rtree_; }
+  const FeatureStore* features() const { return features_; }
 
   /// Number of MBR records in the relation.
   uint64_t count() const {
@@ -57,6 +73,7 @@ class JoinInput {
   Kind kind_;
   DatasetRef stream_;
   const RTree* rtree_;
+  const FeatureStore* features_ = nullptr;
 };
 
 /// Which algorithm executes a join.
@@ -77,6 +94,11 @@ struct PlanDecision {
   double touched_fraction = 1.0;
   double index_cost_seconds = 0.0;
   double stream_cost_seconds = 0.0;
+  /// Estimated refinement I/O (0 unless options.refine and both inputs
+  /// carry FeatureStores). Included in both plan costs above — it is the
+  /// same for every filter algorithm, so it never flips the choice, but
+  /// the totals stay honest end-to-end estimates.
+  double refine_cost_seconds = 0.0;
   std::string rationale;
 };
 
@@ -114,6 +136,12 @@ class SpatialJoiner {
   const JoinOptions& options() const { return options_; }
 
  private:
+  /// The MBR filter step: runs `algorithm` without refinement.
+  Result<JoinStats> RunFilterJoin(const JoinInput& a, const JoinInput& b,
+                                  JoinSink* sink, JoinAlgorithm algorithm,
+                                  const GridHistogram* hist_a,
+                                  const GridHistogram* hist_b);
+
   /// Materializes an indexed input as a stream (sequential leaf scan), for
   /// running stream algorithms against trees.
   Result<DatasetRef> ExtractLeaves(const RTree& tree);

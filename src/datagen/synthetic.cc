@@ -72,4 +72,22 @@ std::vector<RectF> DiagonalPoints(uint64_t n, const RectF& region,
   return out;
 }
 
+Segment SegmentForRect(const RectF& r) {
+  // Fibonacci hash of the id picks the orientation; well-mixed so adjacent
+  // ids alternate irregularly, deterministic so geometry is replayable.
+  uint32_t h = r.id * 2654435761u;
+  h ^= h >> 16;
+  if ((h & 1u) == 0) {
+    return Segment(r.xlo, r.ylo, r.xhi, r.yhi);  // Main diagonal.
+  }
+  return Segment(r.xlo, r.yhi, r.xhi, r.ylo);  // Anti-diagonal.
+}
+
+std::vector<Segment> SegmentsForRects(const std::vector<RectF>& rects) {
+  std::vector<Segment> out;
+  out.reserve(rects.size());
+  for (const RectF& r : rects) out.push_back(SegmentForRect(r));
+  return out;
+}
+
 }  // namespace sj

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geometry/rect.h"
+#include "geometry/segment.h"
 #include "util/random.h"
 
 namespace sj {
@@ -27,6 +28,17 @@ std::vector<RectF> ClusteredRects(uint64_t n, const RectF& region,
 /// exercising tie and boundary paths.
 std::vector<RectF> DiagonalPoints(uint64_t n, const RectF& region,
                                   ObjectId base_id = 0);
+
+/// Exact geometry for a filter-and-refine pipeline: the line segment
+/// spanning `r`'s main or anti diagonal, the orientation chosen by a
+/// deterministic hash of r.id. The segment's bounding box is exactly `r`
+/// (SegmentForRect(r).Mbr(r.id) == r), and the geometry of any record can
+/// be regenerated from its MBR alone — no generator state to replay.
+Segment SegmentForRect(const RectF& r);
+
+/// SegmentForRect over a whole relation; out[i] is the geometry of
+/// rects[i], ready for FeatureStore::Build when ids are dense.
+std::vector<Segment> SegmentsForRects(const std::vector<RectF>& rects);
 
 }  // namespace sj
 

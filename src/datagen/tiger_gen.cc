@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "datagen/synthetic.h"
 #include "util/logging.h"
 
 namespace sj {
@@ -138,6 +139,39 @@ void TigerGenerator::GenerateHydro(uint64_t n, std::vector<RectF>* out,
       produced++;
     }
   }
+}
+
+namespace {
+
+/// Geometry for every MBR appended since `from` (the shared tail of the
+/// *WithGeometry generators, keeping the MBR-exactness invariant in one
+/// place).
+void AppendSegmentsFor(const std::vector<RectF>& rects, size_t from,
+                       std::vector<Segment>* geom) {
+  geom->reserve(geom->size() + (rects.size() - from));
+  for (size_t i = from; i < rects.size(); ++i) {
+    geom->push_back(SegmentForRect(rects[i]));
+  }
+}
+
+}  // namespace
+
+void TigerGenerator::GenerateRoadsWithGeometry(uint64_t n,
+                                               std::vector<RectF>* out,
+                                               std::vector<Segment>* geom,
+                                               ObjectId base_id) {
+  const size_t before = out->size();
+  GenerateRoads(n, out, base_id);
+  AppendSegmentsFor(*out, before, geom);
+}
+
+void TigerGenerator::GenerateHydroWithGeometry(uint64_t n,
+                                               std::vector<RectF>* out,
+                                               std::vector<Segment>* geom,
+                                               ObjectId base_id) {
+  const size_t before = out->size();
+  GenerateHydro(n, out, base_id);
+  AppendSegmentsFor(*out, before, geom);
 }
 
 }  // namespace sj

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geometry/rect.h"
+#include "geometry/segment.h"
 #include "util/random.h"
 
 namespace sj {
@@ -52,6 +53,19 @@ class TigerGenerator {
   /// Appends `n` hydro MBRs with ids base_id .. base_id+n-1.
   void GenerateHydro(uint64_t n, std::vector<RectF>* out,
                      ObjectId base_id = 0);
+
+  /// Like GenerateRoads/GenerateHydro, but also emits the exact geometry
+  /// (the refinement-step payload): each feature is a line segment across
+  /// its MBR's diagonal — faithful for the thin axis-leaning street boxes
+  /// and the river-walk chain links — with geom->at(i) matching out->at(i)
+  /// and Mbr() exactly equal to the stored MBR. The MBRs are identical to
+  /// what the plain generators produce for the same seed.
+  void GenerateRoadsWithGeometry(uint64_t n, std::vector<RectF>* out,
+                                 std::vector<Segment>* geom,
+                                 ObjectId base_id = 0);
+  void GenerateHydroWithGeometry(uint64_t n, std::vector<RectF>* out,
+                                 std::vector<Segment>* geom,
+                                 ObjectId base_id = 0);
 
   const RectF& region() const { return region_; }
 

@@ -1,0 +1,109 @@
+#ifndef USJ_GEOMETRY_POLYGON_H_
+#define USJ_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+
+namespace sj {
+
+/// A 2-D point, the vertex type of PolygonF.
+struct PointF {
+  float x = 0, y = 0;
+
+  PointF() = default;
+  PointF(float px, float py) : x(px), y(py) {}
+};
+
+/// A simple polygon (closed ring, no self-intersections assumed). Either
+/// winding order is accepted; all predicates treat the polygon as a closed
+/// point set (boundary included), matching RectF's closed-rectangle
+/// semantics.
+///
+/// The refinement executor currently stores and resolves segment payloads
+/// only (FeatureStore is fixed-width); the polygon predicates below are
+/// the exact-geometry kernel for the upcoming variable-width area
+/// features (lakes, census blocks) and are exercised by
+/// tests/polygon_test.cc until that store lands.
+struct PolygonF {
+  std::vector<PointF> vertices;
+
+  /// The polygon's MBR (the filter-step representation).
+  RectF Mbr(ObjectId id = 0) const {
+    RectF box = RectF::Empty();
+    for (const PointF& v : vertices) box.ExtendTo(RectF(v.x, v.y, v.x, v.y));
+    box.id = id;
+    return box;
+  }
+
+  /// Edge i runs from vertex i to vertex (i+1) % size.
+  Segment Edge(size_t i) const {
+    const PointF& a = vertices[i];
+    const PointF& b = vertices[(i + 1) % vertices.size()];
+    return Segment(a.x, a.y, b.x, b.y);
+  }
+};
+
+/// True when the closed segment and the closed rectangle share a point:
+/// an endpoint lies inside the rectangle, or the segment crosses one of
+/// the rectangle's four edges. Exact for float inputs (evaluated in
+/// double, like SegmentsIntersect).
+inline bool SegmentIntersectsRect(const Segment& s, const RectF& r) {
+  if (r.ContainsPoint(s.x1, s.y1) || r.ContainsPoint(s.x2, s.y2)) return true;
+  // MBR reject: cheap and also handles degenerate (point) segments.
+  if (!s.Mbr().Intersects(r)) return false;
+  const Segment left(r.xlo, r.ylo, r.xlo, r.yhi);
+  const Segment right(r.xhi, r.ylo, r.xhi, r.yhi);
+  const Segment bottom(r.xlo, r.ylo, r.xhi, r.ylo);
+  const Segment top(r.xlo, r.yhi, r.xhi, r.yhi);
+  return SegmentsIntersect(s, left) || SegmentsIntersect(s, right) ||
+         SegmentsIntersect(s, bottom) || SegmentsIntersect(s, top);
+}
+
+/// Closed-set point-in-polygon: true for interior *and* boundary points.
+/// Interior membership uses the even-odd crossing rule on a ray toward
+/// +x; boundary points are detected exactly with the collinear case of
+/// the segment predicate.
+inline bool PointInPolygon(float px, float py, const PolygonF& poly) {
+  const size_t n = poly.vertices.size();
+  if (n == 0) return false;
+  if (n == 1) {
+    return poly.vertices[0].x == px && poly.vertices[0].y == py;
+  }
+  const Segment probe(px, py, px, py);  // Degenerate segment = the point.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Segment e = poly.Edge(i);
+    if (SegmentsIntersect(e, probe)) return true;  // On the boundary.
+    // Crossing test against the horizontal ray from (px, py) toward +x.
+    const bool a_above = e.y1 > py, b_above = e.y2 > py;
+    if (a_above != b_above) {
+      const double t = (static_cast<double>(py) - e.y1) /
+                       (static_cast<double>(e.y2) - e.y1);
+      const double cross_x = e.x1 + t * (static_cast<double>(e.x2) - e.x1);
+      if (cross_x > px) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+/// True when the closed rectangle and the closed polygon share a point:
+/// a polygon edge meets the rectangle, the rectangle lies inside the
+/// polygon, or the polygon lies inside the rectangle. This is the exact
+/// predicate for rectangle-vs-area features (lakes, census blocks) in the
+/// refinement step.
+inline bool RectIntersectsPolygon(const RectF& r, const PolygonF& poly) {
+  if (poly.vertices.empty()) return false;
+  for (size_t i = 0; i < poly.vertices.size(); ++i) {
+    if (SegmentIntersectsRect(poly.Edge(i), r)) return true;
+  }
+  // No edge touches the rectangle: either one shape strictly contains the
+  // other, or they are disjoint. One point of each settles both cases.
+  if (PointInPolygon(r.xlo, r.ylo, poly)) return true;
+  return r.ContainsPoint(poly.vertices[0].x, poly.vertices[0].y);
+}
+
+}  // namespace sj
+
+#endif  // USJ_GEOMETRY_POLYGON_H_

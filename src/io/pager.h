@@ -45,6 +45,13 @@ class Pager {
     return std::move(backend_);
   }
 
+  /// Direct access to the backing storage for readers that do their own
+  /// cost accounting (the parallel refinement executor reads a shared
+  /// feature store from many workers and charges each worker's private
+  /// DiskModel shard). Concurrent ReadPage calls are safe on both
+  /// backends as long as nothing writes the file.
+  StorageBackend* backend() const { return backend_.get(); }
+
   /// Pages allocated so far (>= backend page count until they are written).
   uint64_t page_count() const { return allocated_; }
 

@@ -55,6 +55,15 @@ struct JoinOptions {
   /// derived from num_threads) so the decomposition — and with it the
   /// result order and modeled I/O — does not change with the thread count.
   uint32_t multiway_strips = 64;
+  /// Filter-and-refine pipeline: when true, SpatialJoiner::Join and
+  /// MultiwayJoin treat the MBR join as the filter step, resolve every
+  /// candidate against the inputs' FeatureStores (JoinInput::WithFeatures)
+  /// and emit only pairs/tuples whose exact geometries intersect.
+  bool refine = false;
+  /// Candidate pairs per refinement batch — the parallel work unit, which
+  /// also bounds the feature pages a batch pins in memory (at most one
+  /// page per candidate and side).
+  uint32_t refine_batch_pairs = 1024;
 };
 
 /// Everything measured about one join execution.
@@ -81,6 +90,13 @@ struct JoinStats {
   uint32_t partitions_total = 0;
   uint32_t partitions_overflowed = 0;
   size_t max_partition_bytes = 0;
+  /// Filter-and-refine split: candidate_count is the MBR filter's output.
+  /// Without refinement it equals output_count; with options.refine the
+  /// exact results land in output_count and refine_pages_read counts the
+  /// feature-store pages the refinement step fetched (its modeled time is
+  /// folded into `disk` like everything else).
+  uint64_t candidate_count = 0;
+  uint64_t refine_pages_read = 0;
 
   /// The classic cost estimate (Figure 2(a)-(c)): every page read priced
   /// as a random single-page access, plus scaled CPU.

@@ -65,6 +65,10 @@ struct MultiwayStats {
   DiskStats disk;
   /// Max bytes across sources (incl. intermediate pair tables).
   size_t max_bytes = 0;
+  /// Filter-and-refine split (see JoinStats): MBR tuples before
+  /// refinement, and feature-store pages the refinement step fetched.
+  uint64_t candidate_count = 0;
+  uint64_t refine_pages_read = 0;
 };
 
 /// k-way intersection join (k >= 2): reports every k-tuple of objects, one

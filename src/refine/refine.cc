@@ -1,0 +1,192 @@
+#include "refine/refine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace sj {
+namespace {
+
+/// Per-batch state shared by the pair and tuple executors: a private
+/// DiskModel shard (fresh disk state, so modeled I/O depends only on the
+/// batch's own request sequence) with one registered device per input
+/// store, plus per-batch counters.
+struct BatchShard {
+  std::unique_ptr<DiskModel> disk;
+  std::vector<uint32_t> devices;
+  uint64_t pages_read = 0;
+  uint64_t results = 0;
+  double cpu_seconds = 0.0;
+};
+
+std::vector<BatchShard> MakeShards(uint64_t nbatches, const MachineModel& m,
+                                   size_t nstores) {
+  std::vector<BatchShard> shards(nbatches);
+  for (BatchShard& s : shards) {
+    s.disk = std::make_unique<DiskModel>(m);
+    s.devices.reserve(nstores);
+    for (size_t k = 0; k < nstores; ++k) {
+      s.devices.push_back(
+          s.disk->RegisterDevice("refine." + std::to_string(k)));
+    }
+  }
+  return shards;
+}
+
+RefineStats MergeShards(const std::vector<BatchShard>& shards, bool pooled,
+                        uint64_t candidates) {
+  RefineStats stats;
+  stats.candidates = candidates;
+  for (const BatchShard& s : shards) {
+    stats.results += s.results;
+    stats.pages_read += s.pages_read;
+    stats.disk += s.disk->stats();
+    // Inline batches already ran on the caller's measured thread; only
+    // pool workers' CPU needs reporting (parallel-engine convention).
+    if (pooled) stats.host_cpu_seconds += s.cpu_seconds;
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
+                                const FeatureStore& store_a,
+                                const FeatureStore& store_b,
+                                const JoinOptions& options, JoinSink* sink) {
+  const uint64_t batch = std::max<uint32_t>(1, options.refine_batch_pairs);
+  const uint64_t n = candidates.size();
+  const uint64_t nbatches = (n + batch - 1) / batch;
+  if (nbatches == 0) return RefineStats{};
+
+  const MachineModel& machine = store_a.pager()->disk()->machine();
+  std::vector<BatchShard> shards = MakeShards(nbatches, machine, 2);
+  std::vector<CollectingSink> buffered(nbatches);
+  // Matches ParallelFor's inline condition: serial batches stream straight
+  // to the caller's sink in the same order the pooled merge replays them.
+  const bool pooled = options.num_threads > 1 && nbatches > 1;
+
+  SJ_RETURN_IF_ERROR(ParallelFor(
+      options.num_threads, nbatches, [&](uint64_t i) -> Status {
+        BatchShard& shard = shards[i];
+        ThreadCpuTimer cpu;
+        const uint64_t lo = i * batch;
+        const uint64_t hi = std::min(n, lo + batch);
+        std::vector<ObjectId> ids_a, ids_b;
+        ids_a.reserve(hi - lo);
+        ids_b.reserve(hi - lo);
+        for (uint64_t k = lo; k < hi; ++k) {
+          ids_a.push_back(candidates[k].a);
+          ids_b.push_back(candidates[k].b);
+        }
+        std::vector<Segment> geom_a, geom_b;
+        SJ_ASSIGN_OR_RETURN(
+            uint64_t pages_a,
+            store_a.FetchBatch(Span<const ObjectId>(ids_a.data(), ids_a.size()),
+                               &geom_a, shard.disk.get(), shard.devices[0]));
+        SJ_ASSIGN_OR_RETURN(
+            uint64_t pages_b,
+            store_b.FetchBatch(Span<const ObjectId>(ids_b.data(), ids_b.size()),
+                               &geom_b, shard.disk.get(), shard.devices[1]));
+        shard.pages_read = pages_a + pages_b;
+        JoinSink* out = pooled ? static_cast<JoinSink*>(&buffered[i]) : sink;
+        for (uint64_t k = 0; k < hi - lo; ++k) {
+          if (SegmentsIntersect(geom_a[k], geom_b[k])) {
+            out->Emit(ids_a[k], ids_b[k]);
+            shard.results++;
+          }
+        }
+        shard.cpu_seconds = cpu.Elapsed();
+        return Status::OK();
+      }));
+
+  if (pooled) {
+    // Deterministic merge, in batch (= candidate) order.
+    for (const CollectingSink& b : buffered) {
+      for (const IdPair& pair : b.pairs()) sink->Emit(pair.a, pair.b);
+    }
+  }
+  return MergeShards(shards, pooled, n);
+}
+
+Result<RefineStats> RefineTuples(
+    const std::vector<std::vector<ObjectId>>& tuples,
+    const std::vector<const FeatureStore*>& stores, const JoinOptions& options,
+    TupleSink* sink) {
+  const size_t k = stores.size();
+  if (k < 2) {
+    return Status::InvalidArgument("tuple refinement needs at least 2 stores");
+  }
+  for (const FeatureStore* store : stores) {
+    if (store == nullptr) {
+      return Status::InvalidArgument("tuple refinement: missing store");
+    }
+  }
+  const uint64_t batch = std::max<uint32_t>(1, options.refine_batch_pairs);
+  const uint64_t n = tuples.size();
+  const uint64_t nbatches = (n + batch - 1) / batch;
+  if (nbatches == 0) return RefineStats{};
+
+  const MachineModel& machine = stores[0]->pager()->disk()->machine();
+  std::vector<BatchShard> shards = MakeShards(nbatches, machine, k);
+  std::vector<CollectingTupleSink> buffered(nbatches);
+  const bool pooled = options.num_threads > 1 && nbatches > 1;
+
+  SJ_RETURN_IF_ERROR(ParallelFor(
+      options.num_threads, nbatches, [&](uint64_t i) -> Status {
+        BatchShard& shard = shards[i];
+        ThreadCpuTimer cpu;
+        const uint64_t lo = i * batch;
+        const uint64_t hi = std::min(n, lo + batch);
+        // Validate the whole batch before any fetch is modeled.
+        for (uint64_t t = lo; t < hi; ++t) {
+          if (tuples[t].size() != k) {
+            return Status::InvalidArgument(
+                "tuple arity does not match store count");
+          }
+        }
+        // Column-at-a-time gather: one batched fetch per input store.
+        std::vector<std::vector<Segment>> geom(k);
+        std::vector<ObjectId> ids;
+        for (size_t input = 0; input < k; ++input) {
+          ids.clear();
+          ids.reserve(hi - lo);
+          for (uint64_t t = lo; t < hi; ++t) {
+            ids.push_back(tuples[t][input]);
+          }
+          SJ_ASSIGN_OR_RETURN(
+              uint64_t pages,
+              stores[input]->FetchBatch(
+                  Span<const ObjectId>(ids.data(), ids.size()), &geom[input],
+                  shard.disk.get(), shard.devices[input]));
+          shard.pages_read += pages;
+        }
+        TupleSink* out = pooled ? static_cast<TupleSink*>(&buffered[i]) : sink;
+        for (uint64_t t = lo; t < hi; ++t) {
+          const uint64_t row = t - lo;
+          bool all = true;
+          for (size_t x = 0; x < k && all; ++x) {
+            for (size_t y = x + 1; y < k && all; ++y) {
+              all = SegmentsIntersect(geom[x][row], geom[y][row]);
+            }
+          }
+          if (all) {
+            out->Emit(tuples[t]);
+            shard.results++;
+          }
+        }
+        shard.cpu_seconds = cpu.Elapsed();
+        return Status::OK();
+      }));
+
+  if (pooled) {
+    for (const CollectingTupleSink& b : buffered) {
+      for (const std::vector<ObjectId>& tuple : b.tuples()) sink->Emit(tuple);
+    }
+  }
+  return MergeShards(shards, pooled, n);
+}
+
+}  // namespace sj

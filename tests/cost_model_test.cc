@@ -29,6 +29,48 @@ TEST(CostModel, SSSJCostIsSixSequentialPasses) {
   EXPECT_NEAR(model.SSSJSeconds(1000), 6.0 * 1000 * seq_page, 1e-9);
 }
 
+TEST(CostModel, StreamingPassFactorSharedByCostAndBreakEven) {
+  // SSSJSeconds and IndexBreakEvenFraction must price the streaming plan
+  // with the same pass count: the break-even rule is exactly "streaming
+  // passes vs. the random/sequential read ratio". A drift between the two
+  // would silently skew every indexed-vs-streamed planning decision.
+  for (const MachineModel& m :
+       {MachineModel::Machine1(), MachineModel::Machine2(),
+        MachineModel::Machine3()}) {
+    const CostModel model(m);
+    EXPECT_DOUBLE_EQ(model.StreamingPassFactor(),
+                     3.0 + 2.0 * m.write_factor)
+        << m.name;
+    const double seq_page = m.PageTransferMs(kPageSize) * 1e-3;
+    EXPECT_NEAR(model.SSSJSeconds(1000),
+                1000 * model.StreamingPassFactor() * seq_page, 1e-12)
+        << m.name;
+    EXPECT_NEAR(model.IndexBreakEvenFraction() *
+                    m.RandomToSequentialReadRatio(kPageSize),
+                model.StreamingPassFactor(), 1e-12)
+        << m.name;
+  }
+}
+
+TEST(CostModel, RefineSecondsBoundedByStoreScansAndCandidates) {
+  const MachineModel m = MachineModel::Machine1();
+  const CostModel model(m);
+  const double rand_page =
+      (m.avg_access_ms + m.PageTransferMs(kPageSize)) * 1e-3;
+  // Few candidates against big stores: one page per candidate and side.
+  EXPECT_NEAR(model.RefineSeconds(10, 1000, 1000, 1024), 20 * rand_page,
+              1e-12);
+  // Many candidates against small stores: batches do not share fetches,
+  // so the bound is one store scan per batch and side — 98 batches of
+  // 1024 over stores of 50/80 pages.
+  EXPECT_NEAR(model.RefineSeconds(100000, 50, 80, 1024),
+              (98 * 50 + 98 * 80) * rand_page, 1e-9);
+  // Larger batches amortize the per-batch re-reads.
+  EXPECT_LT(model.RefineSeconds(100000, 50, 80, 4096),
+            model.RefineSeconds(100000, 50, 80, 256));
+  EXPECT_DOUBLE_EQ(model.RefineSeconds(0, 1000, 1000, 1024), 0.0);
+}
+
 TEST(CostModel, PQCostUsesRandomReads) {
   const MachineModel m = MachineModel::Machine1();
   const CostModel model(m);

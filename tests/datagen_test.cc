@@ -45,6 +45,53 @@ TEST(TigerGenerator, DeterministicPerSeed) {
   EXPECT_NE(a, c);
 }
 
+TEST(SegmentGeometry, SegmentForRectMbrIsExact) {
+  // The refinement payload must round-trip through the filter
+  // representation: the generated segment's bounding box is exactly the
+  // MBR the join algorithms see, for every distribution.
+  const RectF region(0, 0, 250, 250);
+  auto check = [](const std::vector<RectF>& rects, bool expect_mixed) {
+    const auto geom = SegmentsForRects(rects);
+    ASSERT_EQ(geom.size(), rects.size());
+    bool saw_main = false, saw_anti = false;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      EXPECT_EQ(geom[i].Mbr(rects[i].id), rects[i]) << "record " << i;
+      if (geom[i].y1 <= geom[i].y2) saw_main = true;
+      if (geom[i].y1 > geom[i].y2) saw_anti = true;
+    }
+    if (expect_mixed) {  // The id hash must actually mix orientations.
+      EXPECT_TRUE(saw_main);
+      EXPECT_TRUE(saw_anti);
+    }
+  };
+  check(UniformRects(600, region, 2.0f, 1), true);
+  check(ClusteredRects(600, region, 5, 10.0f, 2.0f, 2), true);
+  // Degenerate points: every "segment" is the point itself.
+  check(DiagonalPoints(100, region), false);
+}
+
+TEST(TigerGenerator, GeometryVariantsMatchPlainMbrs) {
+  TigerGenerator plain(99), with_geom(99);
+  std::vector<RectF> roads_plain, roads_geom, hydro_plain, hydro_geom;
+  std::vector<Segment> road_segments, hydro_segments;
+  plain.GenerateRoads(700, &roads_plain);
+  plain.GenerateHydro(300, &hydro_plain);
+  with_geom.GenerateRoadsWithGeometry(700, &roads_geom, &road_segments);
+  with_geom.GenerateHydroWithGeometry(300, &hydro_geom, &hydro_segments);
+  // Same seed, same MBRs — the geometry rides along without perturbing
+  // the stream the filter algorithms (and every pinned bench) see.
+  EXPECT_EQ(roads_plain, roads_geom);
+  EXPECT_EQ(hydro_plain, hydro_geom);
+  ASSERT_EQ(road_segments.size(), roads_geom.size());
+  ASSERT_EQ(hydro_segments.size(), hydro_geom.size());
+  for (size_t i = 0; i < roads_geom.size(); ++i) {
+    EXPECT_EQ(road_segments[i].Mbr(roads_geom[i].id), roads_geom[i]);
+  }
+  for (size_t i = 0; i < hydro_geom.size(); ++i) {
+    EXPECT_EQ(hydro_segments[i].Mbr(hydro_geom[i].id), hydro_geom[i]);
+  }
+}
+
 TEST(TigerGenerator, CountsAndIdsAndBounds) {
   TigerGenerator gen(7);
   std::vector<RectF> roads, hydro;

@@ -1,19 +1,27 @@
 // The central property of the study: every algorithm (SSSJ, PBSM, ST, PQ)
-// computes exactly the same relation — the set of intersecting MBR pairs.
+// computes exactly the same relation — the set of intersecting MBR pairs,
+// and, through the refinement step, the same exact-geometry result set.
 // This file sweeps data distributions, sizes, fanouts and sweep structures
-// and cross-checks all four against brute force.
+// and cross-checks all four against brute force, then re-checks the whole
+// matrix on randomized workloads (the seeded differential harness at the
+// bottom).
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
 
 #include "core/spatial_join.h"
 #include "datagen/synthetic.h"
 #include "datagen/tiger_gen.h"
 #include "join/bfs_join.h"
+#include "refine/feature_store.h"
 #include "test_util.h"
 
 namespace sj {
 namespace {
 
+using testing_util::BruteForceExactPairs;
 using testing_util::BruteForcePairs;
 using testing_util::MakeDataset;
 using testing_util::Sorted;
@@ -145,6 +153,154 @@ INSTANTIATE_TEST_SUITE_P(
                         SweepStructureKind::kStriped, 9},   // Minimal.
         EquivalenceCase{Distribution::kTiger, 1000, 1000, 4,
                         SweepStructureKind::kForward, 10}));  // Deep trees.
+
+// ---------------------------------------------------------------------------
+// The randomized differential harness: N seeded workloads (distribution,
+// cardinalities, density, fanout and memory budget all drawn from the
+// seed) × all five algorithm choices (SSSJ, PBSM, ST, PQ, kAuto) × 1/2/8
+// threads × filter-only and filter+refine — every configuration must
+// produce the identical sorted result set. A failure prints the workload
+// seed; replaying is deterministic:
+//
+//   SJ_DIFF_SEED=<seed> ./join_equivalence_test \
+//       --gtest_filter='RandomizedDifferential.*'
+// ---------------------------------------------------------------------------
+
+struct GeneratedWorkload {
+  std::vector<RectF> a, b;
+  uint32_t fanout = 16;
+  size_t memory_bytes = 24u << 20;
+  std::string description;
+};
+
+GeneratedWorkload GenerateWorkload(uint64_t seed) {
+  Random rng(seed);
+  GeneratedWorkload w;
+  const uint64_t na = 400 + rng.Uniform(1100);
+  const uint64_t nb = 400 + rng.Uniform(1100);
+  const RectF region(0, 0, 400, 400);
+  std::ostringstream desc;
+  switch (rng.Uniform(3)) {
+    case 0: {  // Uniform, density varied via rectangle size.
+      const float sa = static_cast<float>(rng.UniformDouble(0.5, 4.0));
+      const float sb = static_cast<float>(rng.UniformDouble(0.5, 4.0));
+      w.a = UniformRects(na, region, sa, rng.Next());
+      w.b = UniformRects(nb, region, sb, rng.Next());
+      desc << "uniform sizes " << sa << "/" << sb;
+      break;
+    }
+    case 1: {  // Clustered (hard case for PBSM tiles).
+      const uint32_t clusters = 3 + static_cast<uint32_t>(rng.Uniform(8));
+      const float sigma = static_cast<float>(rng.UniformDouble(5.0, 25.0));
+      w.a = ClusteredRects(na, region, clusters, sigma, 2.0f, rng.Next());
+      w.b = ClusteredRects(nb, region, clusters, sigma, 2.5f, rng.Next());
+      desc << "clustered k=" << clusters << " sigma=" << sigma;
+      break;
+    }
+    default: {  // Skewed TIGER-style (Zipf county masses).
+      TigerGenerator gen(rng.Next());
+      gen.GenerateRoads(na, &w.a);
+      gen.GenerateHydro(nb, &w.b);
+      desc << "tiger-skewed";
+      break;
+    }
+  }
+  const size_t budgets[] = {256u << 10, 1u << 20, 24u << 20};
+  w.memory_bytes = budgets[rng.Uniform(3)];
+  w.fanout = 8u + 8u * static_cast<uint32_t>(rng.Uniform(4));
+  desc << " n=" << na << "x" << nb << " fanout=" << w.fanout
+       << " mem=" << (w.memory_bytes >> 10) << "KB";
+  w.description = desc.str();
+  return w;
+}
+
+TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
+  uint64_t base_seed = 0x5EED2026u;
+  int workloads = 6;
+  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
+    base_seed = std::strtoull(replay, nullptr, 0);
+    workloads = 1;
+  }
+  for (int trial = 0; trial < workloads; ++trial) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(trial);
+    const GeneratedWorkload w = GenerateWorkload(seed);
+    SCOPED_TRACE("workload [" + w.description +
+                 "] — replay with SJ_DIFF_SEED=" + std::to_string(seed));
+
+    // Exact geometry + reference answers by brute force.
+    const auto ga = SegmentsForRects(w.a);
+    const auto gb = SegmentsForRects(w.b);
+    const auto expected_filter = BruteForcePairs(w.a, w.b);
+    const auto expected_exact = BruteForceExactPairs(w.a, w.b, ga, gb);
+    ASSERT_FALSE(expected_filter.empty());
+
+    TestDisk td;
+    std::vector<std::unique_ptr<Pager>> keep;
+    const DatasetRef da = MakeDataset(&td, w.a, "a", &keep);
+    const DatasetRef db = MakeDataset(&td, w.b, "b", &keep);
+    auto geom_a_pager = td.NewPager("geom.a");
+    auto geom_b_pager = td.NewPager("geom.b");
+    auto store_a = FeatureStore::Build(geom_a_pager.get(), ga, "a");
+    auto store_b = FeatureStore::Build(geom_b_pager.get(), gb, "b");
+    ASSERT_TRUE(store_a.ok() && store_b.ok());
+
+    auto tree_a_pager = td.NewPager("tree.a");
+    auto tree_b_pager = td.NewPager("tree.b");
+    auto scratch = td.NewPager("scratch");
+    RTreeParams params;
+    params.max_entries = w.fanout;
+    auto ta = RTree::BulkLoadHilbert(tree_a_pager.get(), da.range,
+                                     scratch.get(), params, 1 << 22);
+    auto tb = RTree::BulkLoadHilbert(tree_b_pager.get(), db.range,
+                                     scratch.get(), params, 1 << 22);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+
+    for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
+                               JoinAlgorithm::kST, JoinAlgorithm::kPQ,
+                               JoinAlgorithm::kAuto}) {
+      // Index-only algorithms (and the planner) get trees; the stream
+      // algorithms exercise the sort-from-stream path.
+      const bool indexed =
+          algo == JoinAlgorithm::kST || algo == JoinAlgorithm::kPQ ||
+          algo == JoinAlgorithm::kAuto;
+      JoinInput ia = indexed ? JoinInput::FromRTree(&*ta)
+                             : JoinInput::FromStream(da);
+      JoinInput ib = indexed ? JoinInput::FromRTree(&*tb)
+                             : JoinInput::FromStream(db);
+      ia.WithFeatures(&*store_a);
+      ib.WithFeatures(&*store_b);
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        JoinOptions options;
+        options.memory_bytes = w.memory_bytes;
+        options.buffer_pool_pages = std::max<size_t>(
+            16, w.memory_bytes / kPageSize);
+        options.num_threads = threads;
+        options.refine_batch_pairs = 512;
+        {
+          SpatialJoiner joiner(&td.disk, options);
+          CollectingSink sink;
+          auto stats = joiner.Join(ia, ib, &sink, algo);
+          ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
+                                  << ": " << stats.status().ToString();
+          EXPECT_EQ(Sorted(sink.pairs()), expected_filter)
+              << ToString(algo) << " filter, " << threads << " threads";
+        }
+        {
+          options.refine = true;
+          SpatialJoiner joiner(&td.disk, options);
+          CollectingSink sink;
+          auto stats = joiner.Join(ia, ib, &sink, algo);
+          ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
+                                  << ": " << stats.status().ToString();
+          EXPECT_EQ(Sorted(sink.pairs()), expected_exact)
+              << ToString(algo) << " refined, " << threads << " threads";
+          EXPECT_EQ(stats->candidate_count, expected_filter.size())
+              << ToString(algo) << " refined, " << threads << " threads";
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace sj

@@ -1,0 +1,173 @@
+// Regression pins for SpatialJoiner::Plan: algorithm choice,
+// touched-fraction estimation (extent-only vs. histogram-refined),
+// break-even behavior, and the refinement I/O term. Canonical input
+// shapes so a cost-model change that flips a decision fails loudly here
+// rather than silently shifting every bench.
+
+#include <gtest/gtest.h>
+
+#include "core/spatial_join.h"
+#include "datagen/synthetic.h"
+#include "refine/feature_store.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::TestDisk;
+
+/// A stream-side JoinInput that exists only for planning: Plan() never
+/// touches the data, just count/extent.
+JoinInput PlanOnlyStream(uint64_t count, const RectF& extent) {
+  DatasetRef ref;
+  ref.range = StreamRange{nullptr, 0, count};
+  ref.extent = extent;
+  return JoinInput::FromStream(ref);
+}
+
+struct TreeFixture {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  std::vector<RectF> data;
+  std::unique_ptr<Pager> tree_pager, scratch;
+  std::optional<RTree> tree;
+
+  explicit TreeFixture(uint64_t n = 4000) {
+    data = UniformRects(n, RectF(0, 0, 100, 100), 0.5f, /*seed=*/77);
+    const DatasetRef ref = MakeDataset(&td, data, "tree.data", &keep);
+    tree_pager = td.NewPager("tree");
+    scratch = td.NewPager("scratch");
+    auto built = RTree::BulkLoadHilbert(tree_pager.get(), ref.range,
+                                        scratch.get(), RTreeParams(),
+                                        1 << 22);
+    SJ_CHECK_OK(built.status());
+    tree.emplace(std::move(*built));
+  }
+};
+
+TEST(Planner, StreamStreamAlwaysSSSJ) {
+  TestDisk td;
+  SpatialJoiner joiner(&td.disk, JoinOptions());
+  const JoinInput a = PlanOnlyStream(100000, RectF(0, 0, 100, 100));
+  const JoinInput b = PlanOnlyStream(50000, RectF(0, 0, 100, 100));
+  const PlanDecision d = joiner.Plan(a, b);
+  EXPECT_EQ(d.algorithm, JoinAlgorithm::kSSSJ);
+  EXPECT_EQ(d.index_cost_seconds, 0.0);
+  EXPECT_EQ(d.refine_cost_seconds, 0.0);
+  // Stream cost is exactly the cost model's streaming estimate.
+  const uint64_t pages = a.pages() + b.pages();
+  EXPECT_DOUBLE_EQ(d.stream_cost_seconds,
+                   joiner.cost_model().SSSJSeconds(pages));
+}
+
+TEST(Planner, LocalizedJoinUsesTheIndex) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  // The stream covers ~1% of the indexed extent: far below break-even.
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 10, 10));
+  const PlanDecision d = joiner.Plan(a, b);
+  EXPECT_EQ(d.algorithm, JoinAlgorithm::kPQ);
+  EXPECT_LT(d.touched_fraction,
+            joiner.cost_model().IndexBreakEvenFraction());
+  EXPECT_NEAR(d.touched_fraction, 0.01, 0.005);
+  EXPECT_LT(d.index_cost_seconds, d.stream_cost_seconds);
+}
+
+TEST(Planner, FullOverlapIgnoresTheIndex) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 100, 100));
+  const PlanDecision d = joiner.Plan(a, b);
+  EXPECT_EQ(d.algorithm, JoinAlgorithm::kSSSJ);
+  EXPECT_GT(d.touched_fraction, 0.9);
+  EXPECT_GE(d.index_cost_seconds, d.stream_cost_seconds);
+}
+
+TEST(Planner, TouchedFractionTracksExtentOverlap) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  // Half-extent stream: the extent-only estimate is the overlap area
+  // ratio of the indexed side.
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 50, 100));
+  const PlanDecision d = joiner.Plan(a, b);
+  EXPECT_NEAR(d.touched_fraction, 0.5, 0.05);
+}
+
+TEST(Planner, HistogramsRefineTheExtentOnlyEstimate) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  // The other input's *extent* spans everything, but its *mass* sits in
+  // one corner — the localized-join case §6.3's histograms exist for.
+  const auto corner = UniformRects(2000, RectF(0, 0, 10, 10), 0.5f, 78);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 100, 100));
+
+  const PlanDecision extent_only = joiner.Plan(a, b);
+  EXPECT_EQ(extent_only.algorithm, JoinAlgorithm::kSSSJ);
+  EXPECT_GT(extent_only.touched_fraction, 0.9);
+
+  GridHistogram hist_a(RectF(0, 0, 100, 100), 32, 32);
+  for (const RectF& r : f.data) hist_a.Add(r);
+  GridHistogram hist_b(RectF(0, 0, 100, 100), 32, 32);
+  for (const RectF& r : corner) hist_b.Add(r);
+  const PlanDecision refined = joiner.Plan(a, b, &hist_a, &hist_b);
+  // The histogram exposes the localization: a small touched fraction and
+  // with it the indexed plan.
+  EXPECT_LT(refined.touched_fraction, 0.1);
+  EXPECT_EQ(refined.algorithm, JoinAlgorithm::kPQ);
+  EXPECT_LT(refined.touched_fraction, extent_only.touched_fraction);
+}
+
+TEST(Planner, RefineTermAddedToBothPlansWithoutFlippingThem) {
+  TreeFixture f;
+  // Geometry stores so the refinement term applies.
+  auto geom_a_pager = f.td.NewPager("geom.a");
+  auto geom_b_pager = f.td.NewPager("geom.b");
+  const auto b_data = UniformRects(2000, RectF(0, 0, 10, 10), 0.5f, 79);
+  auto store_a = FeatureStore::Build(geom_a_pager.get(),
+                                     SegmentsForRects(f.data), "a");
+  auto store_b = FeatureStore::Build(geom_b_pager.get(),
+                                     SegmentsForRects(b_data), "b");
+  ASSERT_TRUE(store_a.ok() && store_b.ok());
+
+  JoinInput a = JoinInput::FromRTree(&*f.tree);
+  JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 10, 10));
+  a.WithFeatures(&*store_a);
+  b.WithFeatures(&*store_b);
+
+  SpatialJoiner plain(&f.td.disk, JoinOptions());
+  const PlanDecision base = plain.Plan(a, b);
+  EXPECT_EQ(base.refine_cost_seconds, 0.0);
+
+  JoinOptions options;
+  options.refine = true;
+  SpatialJoiner refining(&f.td.disk, options);
+  const PlanDecision with_refine = refining.Plan(a, b);
+  EXPECT_GT(with_refine.refine_cost_seconds, 0.0);
+  // The term is the same for every filter algorithm, so the choice and
+  // the cost *difference* are unchanged; both totals grow by the term.
+  EXPECT_EQ(with_refine.algorithm, base.algorithm);
+  EXPECT_NEAR(with_refine.stream_cost_seconds,
+              base.stream_cost_seconds + with_refine.refine_cost_seconds,
+              1e-12);
+  EXPECT_NEAR(with_refine.index_cost_seconds,
+              base.index_cost_seconds + with_refine.refine_cost_seconds,
+              1e-12);
+}
+
+TEST(Planner, DisjointExtentsTouchNothing) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(200, 200, 300, 300));
+  const PlanDecision d = joiner.Plan(a, b);
+  EXPECT_EQ(d.touched_fraction, 0.0);
+  EXPECT_EQ(d.algorithm, JoinAlgorithm::kPQ);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,116 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+namespace sj {
+namespace {
+
+PolygonF UnitSquare() {
+  return PolygonF{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+}
+
+/// A concave "C" shape opening to the right: the notch spans
+/// x in (1, 3], y in (1, 2).
+PolygonF CShape() {
+  return PolygonF{{{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 2}, {3, 2}, {3, 3},
+                   {0, 3}}};
+}
+
+TEST(SegmentIntersectsRect, EndpointInside) {
+  const RectF r(0, 0, 10, 10);
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(5, 5, 20, 20), r));
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(-5, -5, 5, 5), r));
+}
+
+TEST(SegmentIntersectsRect, CrossesWithoutEndpointInside) {
+  const RectF r(0, 0, 10, 10);
+  // Straight through horizontally, vertically, and diagonally.
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(-5, 5, 15, 5), r));
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(5, -5, 5, 15), r));
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(-1, 11, 11, -1), r));
+}
+
+TEST(SegmentIntersectsRect, TouchingCountsClosedSemantics) {
+  const RectF r(0, 0, 10, 10);
+  // Grazes the corner at exactly one point.
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(-5, 15, 5, 5), r));
+  // Runs along an edge.
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(-5, 0, 15, 0), r));
+  // Endpoint exactly on the boundary.
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(10, 5, 20, 5), r));
+}
+
+TEST(SegmentIntersectsRect, Disjoint) {
+  const RectF r(0, 0, 10, 10);
+  EXPECT_FALSE(SegmentIntersectsRect(Segment(11, 0, 20, 10), r));
+  EXPECT_FALSE(SegmentIntersectsRect(Segment(-5, 12, 15, 12), r));
+  // MBRs overlap but the segment passes outside the corner.
+  EXPECT_FALSE(SegmentIntersectsRect(Segment(9, 20, 20, 9), r));
+}
+
+TEST(SegmentIntersectsRect, DegeneratePointSegment) {
+  const RectF r(0, 0, 10, 10);
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(5, 5, 5, 5), r));
+  EXPECT_TRUE(SegmentIntersectsRect(Segment(0, 0, 0, 0), r));
+  EXPECT_FALSE(SegmentIntersectsRect(Segment(11, 11, 11, 11), r));
+}
+
+TEST(PointInPolygon, SquareInteriorBoundaryExterior) {
+  const PolygonF sq = UnitSquare();
+  EXPECT_TRUE(PointInPolygon(0.5f, 0.5f, sq));
+  // Boundary: edges, vertices.
+  EXPECT_TRUE(PointInPolygon(0.0f, 0.5f, sq));
+  EXPECT_TRUE(PointInPolygon(1.0f, 1.0f, sq));
+  EXPECT_TRUE(PointInPolygon(0.5f, 0.0f, sq));
+  EXPECT_FALSE(PointInPolygon(1.5f, 0.5f, sq));
+  EXPECT_FALSE(PointInPolygon(0.5f, -0.1f, sq));
+}
+
+TEST(PointInPolygon, ConcaveNotch) {
+  const PolygonF c = CShape();
+  EXPECT_TRUE(PointInPolygon(0.5f, 1.5f, c));   // Spine of the C.
+  EXPECT_FALSE(PointInPolygon(2.0f, 1.5f, c));  // Inside the notch.
+  EXPECT_TRUE(PointInPolygon(2.0f, 0.5f, c));   // Lower arm.
+  EXPECT_TRUE(PointInPolygon(2.0f, 2.5f, c));   // Upper arm.
+}
+
+TEST(RectIntersectsPolygon, EdgeCrossing) {
+  const PolygonF sq = UnitSquare();
+  EXPECT_TRUE(RectIntersectsPolygon(RectF(0.5f, 0.5f, 2, 2), sq));
+  EXPECT_TRUE(RectIntersectsPolygon(RectF(-1, -1, 0.25f, 0.25f), sq));
+}
+
+TEST(RectIntersectsPolygon, ContainmentBothWays) {
+  const PolygonF sq = UnitSquare();
+  // Rectangle strictly inside the polygon (no edge touches).
+  EXPECT_TRUE(RectIntersectsPolygon(RectF(0.4f, 0.4f, 0.6f, 0.6f), sq));
+  // Polygon strictly inside the rectangle.
+  EXPECT_TRUE(RectIntersectsPolygon(RectF(-1, -1, 2, 2), sq));
+}
+
+TEST(RectIntersectsPolygon, DisjointAndNotchMiss) {
+  const PolygonF sq = UnitSquare();
+  EXPECT_FALSE(RectIntersectsPolygon(RectF(2, 2, 3, 3), sq));
+  // A rectangle entirely inside the C's notch: its MBR overlaps the
+  // polygon's MBR, but the exact shapes are disjoint — the case the
+  // refinement step exists to reject.
+  const PolygonF c = CShape();
+  EXPECT_TRUE(c.Mbr().Intersects(RectF(1.5f, 1.25f, 2.5f, 1.75f)));
+  EXPECT_FALSE(RectIntersectsPolygon(RectF(1.5f, 1.25f, 2.5f, 1.75f), c));
+}
+
+TEST(RectIntersectsPolygon, BoundaryTouch) {
+  const PolygonF sq = UnitSquare();
+  // Shares exactly one edge / one corner (closed semantics).
+  EXPECT_TRUE(RectIntersectsPolygon(RectF(1, 0, 2, 1), sq));
+  EXPECT_TRUE(RectIntersectsPolygon(RectF(1, 1, 2, 2), sq));
+}
+
+TEST(PolygonMbr, CoversAllVertices) {
+  const PolygonF c = CShape();
+  const RectF box = c.Mbr(42);
+  EXPECT_EQ(box, RectF(0, 0, 3, 3, 42));
+}
+
+}  // namespace
+}  // namespace sj

@@ -32,5 +32,21 @@ std::vector<IdPair> BruteForcePairs(const std::vector<RectF>& a,
   return out;
 }
 
+std::vector<IdPair> BruteForceExactPairs(const std::vector<RectF>& a,
+                                         const std::vector<RectF>& b,
+                                         const std::vector<Segment>& ga,
+                                         const std::vector<Segment>& gb) {
+  std::vector<IdPair> out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (a[i].Intersects(b[j]) && SegmentsIntersect(ga[i], gb[j])) {
+        out.push_back({a[i].id, b[j].id});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace testing_util
 }  // namespace sj

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geometry/rect.h"
+#include "geometry/segment.h"
 #include "io/disk_model.h"
 #include "io/pager.h"
 #include "io/stream.h"
@@ -36,6 +37,13 @@ DatasetRef MakeDataset(TestDisk* td, const std::vector<RectF>& rects,
 /// All intersecting cross pairs by brute force, sorted.
 std::vector<IdPair> BruteForcePairs(const std::vector<RectF>& a,
                                     const std::vector<RectF>& b);
+
+/// The filter-and-refine reference oracle: pairs whose MBRs *and* exact
+/// segments (ga[i] is the geometry of a[i]) intersect, sorted.
+std::vector<IdPair> BruteForceExactPairs(const std::vector<RectF>& a,
+                                         const std::vector<RectF>& b,
+                                         const std::vector<Segment>& ga,
+                                         const std::vector<Segment>& gb);
 
 /// Sorts a pair list (for order-insensitive comparison).
 inline std::vector<IdPair> Sorted(std::vector<IdPair> pairs) {
