@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/join_query.h"
 #include "io/stream.h"
 
 namespace sj {
@@ -83,9 +84,11 @@ void Run(const BenchConfig& config) {
       w.disk->ResetStats();
       SpatialJoiner joiner(w.disk.get(), JoinOptions());
       CountingSink sink;
-      auto stats = joiner.Join(JoinInput::FromRTree(&*roads_tree),
-                               JoinInput::FromRTree(&*hydro_tree), &sink,
-                               algo);
+      auto stats = JoinQuery(joiner)
+                       .Input(JoinInput::FromRTree(&*roads_tree))
+                       .Input(JoinInput::FromRTree(&*hydro_tree))
+                       .Algorithm(algo)
+                       .Run(&sink);
       SJ_CHECK(stats.ok()) << stats.status().ToString();
       *pages = stats->index_pages_read;
       *seq_share = stats->disk.read_requests > 0

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/join_query.h"
 #include "io/stream.h"
 #include "util/logging.h"
 
@@ -144,8 +145,11 @@ Result<JoinStats> RunJoin(Workload* w, JoinAlgorithm algo,
   SJ_CHECK(!indexed || w->roads_tree.has_value())
       << "workload built without trees";
   CountingSink sink;
-  return joiner.Join(w->RoadsInput(indexed), w->HydroInput(indexed), &sink,
-                     algo);
+  return JoinQuery(joiner)
+      .Input(w->RoadsInput(indexed))
+      .Input(w->HydroInput(indexed))
+      .Algorithm(algo)
+      .Run(&sink);
 }
 
 std::string HumanBytes(uint64_t bytes) {

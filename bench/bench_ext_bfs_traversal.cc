@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/join_query.h"
 #include "join/bfs_join.h"
 
 namespace sj {
@@ -38,8 +39,11 @@ void Run(const BenchConfig& config) {
     w.disk->ResetStats();
     CountingSink st_sink;
     SpatialJoiner joiner(w.disk.get(), options);
-    auto st = joiner.Join(w.RoadsInput(true), w.HydroInput(true), &st_sink,
-                          JoinAlgorithm::kST);
+    auto st = JoinQuery(joiner)
+                  .Input(w.RoadsInput(true))
+                  .Input(w.HydroInput(true))
+                  .Algorithm(JoinAlgorithm::kST)
+                  .Run(&st_sink);
     SJ_CHECK(st.ok());
 
     w.disk->ResetStats();

@@ -1,0 +1,99 @@
+// The query API across predicates: for each dataset of the TIGER ladder,
+// run Roads x Hydro through JoinQuery with the intersection, ε-distance
+// and containment predicates (filter-only and refined where applicable),
+// reporting the candidate/exact split and modeled times. The ε sweep
+// shows how the distance predicate's candidate set grows with ε while
+// refinement keeps only true near-pairs; containment shows a predicate
+// whose exact stage does almost all the filtering.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/join_query.h"
+#include "datagen/synthetic.h"
+#include "refine/feature_store.h"
+
+namespace sj {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  std::printf(
+      "== JoinQuery predicate sweep: Roads x Hydro (scale %.4g) ==\n\n",
+      config.scale);
+  std::printf("%-10s %-22s %12s %12s %6s %10s\n", "Dataset", "Predicate",
+              "Candidates", "Exact", "Sel%", "Total(s)");
+  PrintHeaderRule(80);
+
+  for (const std::string& name : config.datasets) {
+    const LoadedDataset& data = GetDataset(name, config.scale);
+    const MachineModel machine = MachineByIndex(config.machines.front());
+    Workload w = MakeWorkload(data, machine, /*build_trees=*/false);
+
+    auto roads_geom_pager = MakeMemoryPager(w.disk.get(), "roads.geom");
+    auto hydro_geom_pager = MakeMemoryPager(w.disk.get(), "hydro.geom");
+    auto roads_store = FeatureStore::Build(
+        roads_geom_pager.get(), SegmentsForRects(data.roads), "roads.geom");
+    auto hydro_store = FeatureStore::Build(
+        hydro_geom_pager.get(), SegmentsForRects(data.hydro), "hydro.geom");
+    SJ_CHECK(roads_store.ok() && hydro_store.ok());
+    w.disk->ResetStats();
+
+    SpatialJoiner joiner(w.disk.get(), config.ScaledOptions());
+    // The TIGER region spans the continental US in degrees; sweep ε from
+    // "adjacent" to "same metro area".
+    struct Row {
+      PredicateSpec predicate;
+      bool refine;
+    };
+    const Row rows[] = {
+        {{Predicate::kIntersects, 0.0}, false},
+        {{Predicate::kIntersects, 0.0}, true},
+        {{Predicate::kDistanceWithin, 0.05}, true},
+        {{Predicate::kDistanceWithin, 0.25}, true},
+        {{Predicate::kContains, 0.0}, true},
+    };
+    for (const Row& row : rows) {
+      w.disk->ResetStats();
+      CountingSink sink;
+      JoinQuery query(joiner);
+      query.Input(w.RoadsInput(false))
+          .Input(w.HydroInput(false))
+          .Predicate(row.predicate.kind, row.predicate.epsilon)
+          .Algorithm(JoinAlgorithm::kSSSJ);
+      if (row.refine) {
+        query.WithFeatures(0, &*roads_store)
+            .WithFeatures(1, &*hydro_store)
+            .Refine(true);
+      }
+      auto stats = query.Run(&sink);
+      SJ_CHECK(stats.ok()) << stats.status().ToString();
+      const double sel =
+          stats->candidate_count > 0
+              ? 100.0 * static_cast<double>(stats->output_count) /
+                    static_cast<double>(stats->candidate_count)
+              : 0.0;
+      const std::string label =
+          row.predicate.Describe() + (row.refine ? "" : " (filter)");
+      std::printf("%-10s %-22s %12llu %12llu %5.1f%% %10.2f\n", name.c_str(),
+                  label.c_str(),
+                  static_cast<unsigned long long>(stats->candidate_count),
+                  static_cast<unsigned long long>(stats->output_count), sel,
+                  stats->ObservedSeconds(machine));
+    }
+  }
+  std::printf(
+      "\nOne query surface, three predicates: ε-expansion happens in the "
+      "filter step (the\ncandidate column grows with ε), the exact "
+      "predicate runs in the refinement step,\nand every knob above was a "
+      "per-query override on one shared joiner.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sj
+
+int main(int argc, char** argv) {
+  sj::bench::Run(sj::bench::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

@@ -6,8 +6,10 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/join_query.h"
 #include "datagen/synthetic.h"
 #include "join/multiway.h"
+#include "join/pq_join.h"
 #include "sort/external_sort.h"
 
 namespace sj {
@@ -43,14 +45,14 @@ void Run(const BenchConfig& config) {
     landuse_ref.extent = TigerGenerator::DefaultRegion();
     w.disk->ResetStats();
 
-    // (a) Chained lazy multiway join through the facade.
+    // (a) Chained lazy multiway join through the query builder.
     SpatialJoiner joiner(w.disk.get(), JoinOptions());
     CountingTupleSink chained_sink;
-    auto chained = joiner.MultiwayJoin(
-        {JoinInput::FromRTree(&*w.roads_tree),
-         JoinInput::FromRTree(&*w.hydro_tree),
-         JoinInput::FromStream(landuse_ref)},
-        &chained_sink);
+    auto chained = JoinQuery(joiner)
+                       .Input(JoinInput::FromRTree(&*w.roads_tree))
+                       .Input(JoinInput::FromRTree(&*w.hydro_tree))
+                       .Input(JoinInput::FromStream(landuse_ref))
+                       .Run(&chained_sink);
     SJ_CHECK(chained.ok()) << chained.status().ToString();
     const double chained_s = chained->disk.io_seconds +
                              chained->host_cpu_seconds * machine.cpu_slowdown;

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/join_query.h"
 #include "datagen/synthetic.h"
 #include "refine/feature_store.h"
 
@@ -47,8 +48,11 @@ void Run(const BenchConfig& config) {
     {
       SpatialJoiner joiner(w.disk.get(), options);
       CountingSink sink;
-      auto stats = joiner.Join(w.RoadsInput(false), w.HydroInput(false),
-                               &sink, JoinAlgorithm::kSSSJ);
+      auto stats = JoinQuery(joiner)
+                       .Input(w.RoadsInput(false))
+                       .Input(w.HydroInput(false))
+                       .Algorithm(JoinAlgorithm::kSSSJ)
+                       .Run(&sink);
       SJ_CHECK(stats.ok());
       filter_seconds = stats->ObservedSeconds(machine);
     }
@@ -56,16 +60,20 @@ void Run(const BenchConfig& config) {
     // Full pipeline at several refinement batch sizes: small batches cut
     // parallel grain and per-batch memory but re-fetch hot feature pages
     // across batches; large batches approach one read per touched page.
+    SpatialJoiner joiner(w.disk.get(), options);
     for (uint32_t batch : {256u, 1024u, 4096u}) {
-      options.refine = true;
-      options.refine_batch_pairs = batch;
-      SpatialJoiner joiner(w.disk.get(), options);
+      // The batch size is a per-query override; the shared joiner's
+      // options stay filter-only.
       CountingSink sink;
-      JoinInput roads = w.RoadsInput(false);
-      JoinInput hydro = w.HydroInput(false);
-      roads.WithFeatures(&*roads_store);
-      hydro.WithFeatures(&*hydro_store);
-      auto stats = joiner.Join(roads, hydro, &sink, JoinAlgorithm::kSSSJ);
+      auto stats = JoinQuery(joiner)
+                       .Input(w.RoadsInput(false))
+                       .Input(w.HydroInput(false))
+                       .WithFeatures(0, &*roads_store)
+                       .WithFeatures(1, &*hydro_store)
+                       .Algorithm(JoinAlgorithm::kSSSJ)
+                       .Refine(true)
+                       .RefineBatchPairs(batch)
+                       .Run(&sink);
       SJ_CHECK(stats.ok());
       SJ_CHECK(stats->output_count == sink.count());
       const double sel =

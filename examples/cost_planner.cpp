@@ -10,7 +10,9 @@
 //   ./examples/cost_planner
 
 #include <cstdio>
+#include <iostream>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
 #include "datagen/tiger_gen.h"
 #include "io/stream.h"
@@ -75,21 +77,23 @@ int main() {
   } cases[] = {{"US-wide hydro  ", &hydro_us_ref, &us_hist},
                {"one-state hydro", &hydro_state_ref, &state_hist}};
   for (const Case& c : cases) {
-    const PlanDecision d =
-        joiner.Plan(JoinInput::FromRTree(&*tree),
-                    JoinInput::FromStream(*c.hydro), &roads_hist, c.hist);
+    // Explain compiles the query (planner included) without running it;
+    // the same chain with Run executes the chosen plan.
+    auto build_query = [&](JoinQuery query) {
+      query.Input(JoinInput::FromRTree(&*tree))
+          .Input(JoinInput::FromStream(*c.hydro))
+          .WithHistogram(0, &roads_hist)
+          .WithHistogram(1, c.hist);
+      return query;
+    };
+    auto decision = build_query(JoinQuery(joiner)).Explain();
+    SJ_CHECK_OK(decision.status());
     disk.ResetStats();
     CountingSink sink;
-    auto stats = joiner.Join(JoinInput::FromRTree(&*tree),
-                             JoinInput::FromStream(*c.hydro), &sink,
-                             JoinAlgorithm::kAuto, &roads_hist, c.hist);
+    auto stats = build_query(JoinQuery(joiner)).Run(&sink);
     SJ_CHECK_OK(stats.status());
-    std::printf(
-        "%s -> plan %-4s (est. touches %4.0f%% of index)  "
-        "result %8llu pairs in modeled %6.2f s\n     rationale: %s\n",
-        c.label, ToString(d.algorithm), d.touched_fraction * 100,
-        (unsigned long long)stats->output_count,
-        stats->ObservedSeconds(disk.machine()), d.rationale.c_str());
+    std::cout << c.label << " -> " << *decision << "\n     "
+              << stats->Describe(disk.machine()) << "\n";
   }
   return 0;
 }

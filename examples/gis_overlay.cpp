@@ -1,17 +1,20 @@
 // GIS overlay: the full two-step spatial join of §1 — filter on MBRs,
 // then refine candidate pairs against the exact segment geometry held in
-// paged FeatureStores ("which roads actually cross water?"). With
-// JoinOptions::refine the SpatialJoiner runs both steps itself and the
-// returned JoinStats splits candidates from exact results, with the
-// refinement I/O cost-accounted like every other page the join moves.
+// paged FeatureStores ("which roads actually cross water?"). A single
+// JoinQuery runs both steps: Refine(true) turns the MBR join into the
+// filter step, and the returned JoinStats splits candidates from exact
+// results, with the refinement I/O cost-accounted like every other page
+// the join moves.
 //
 //   ./examples/gis_overlay [--roads=N] [--hydro=N] [--threads=T]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <vector>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
 #include "datagen/tiger_gen.h"
 #include "refine/feature_store.h"
@@ -67,20 +70,21 @@ int main(int argc, char** argv) {
                                      scratch.get(), RTreeParams(), 24u << 20);
   SJ_CHECK_OK(tree.status());
 
-  // Both steps in one call: the PQ filter drains the index in sorted
+  // Both steps in one query: the PQ filter drains the index in sorted
   // order, then the batched refinement executor resolves every candidate
-  // pair against the stores.
-  JoinOptions options;
-  options.refine = true;
-  options.num_threads = threads;
-  SpatialJoiner joiner(&disk, options);
+  // pair against the stores. Refinement and threading are per-query
+  // settings; the joiner itself keeps its defaults.
+  SpatialJoiner joiner(&disk, JoinOptions());
   CollectingSink crossings;
-  JoinInput roads_input = JoinInput::FromRTree(&*tree);
-  JoinInput hydro_input = JoinInput::FromStream(hydro_ref);
-  roads_input.WithFeatures(&*roads_store);
-  hydro_input.WithFeatures(&*hydro_store);
-  auto stats =
-      joiner.Join(roads_input, hydro_input, &crossings, JoinAlgorithm::kPQ);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromRTree(&*tree))
+                   .Input(JoinInput::FromStream(hydro_ref))
+                   .WithFeatures(0, &*roads_store)
+                   .WithFeatures(1, &*hydro_store)
+                   .Algorithm(JoinAlgorithm::kPQ)
+                   .Refine(true)
+                   .Threads(threads)
+                   .Run(&crossings);
   SJ_CHECK_OK(stats.status());
   // Refinement can only discard candidates; at smoke-test scale the MBR
   // filter must also strictly overapproximate. Tiny --roads/--hydro runs
@@ -91,21 +95,7 @@ int main(int argc, char** argv) {
         << "MBR filter should overapproximate the exact overlay";
   }
 
-  const double selectivity =
-      stats->candidate_count == 0
-          ? 0.0
-          : 100.0 * static_cast<double>(stats->output_count) /
-                static_cast<double>(stats->candidate_count);
-  std::printf("filter step:      %llu candidate MBR pairs\n",
-              (unsigned long long)stats->candidate_count);
-  std::printf("refinement step:  %llu true road/water crossings"
-              " (%.0f%% of candidates)\n",
-              (unsigned long long)stats->output_count, selectivity);
-  std::printf("refinement I/O:   %llu feature-store pages fetched\n",
-              (unsigned long long)stats->refine_pages_read);
-  std::printf("modeled total:    %.2f s on 1999 hardware (%.2f s of I/O)\n",
-              stats->ObservedSeconds(disk.machine()),
-              stats->ObservedIoSeconds());
+  std::cout << stats->Describe(disk.machine()) << "\n";
   std::printf(
       "\nThe filter step does the bulk I/O; refinement touched only the "
       "pages backing the\n%llu candidate pairs instead of all %llu x %llu "

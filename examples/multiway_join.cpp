@@ -6,7 +6,9 @@
 //   ./examples/multiway_join
 
 #include <cstdio>
+#include <iostream>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
 #include "datagen/synthetic.h"
 #include "datagen/tiger_gen.h"
@@ -50,22 +52,21 @@ int main() {
 
   SpatialJoiner joiner(&disk, JoinOptions());
   CollectingTupleSink sink;
-  auto stats = joiner.MultiwayJoin(
-      {JoinInput::FromRTree(&*tree), JoinInput::FromStream(rivers_ref),
-       JoinInput::FromStream(parcels_ref)},
-      &sink);
+  // The same query builder runs k-way joins: add one Input per relation
+  // and run against a TupleSink.
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromRTree(&*tree))
+                   .Input(JoinInput::FromStream(rivers_ref))
+                   .Input(JoinInput::FromStream(parcels_ref))
+                   .Run(&sink);
   if (!stats.ok()) {
     std::fprintf(stderr, "multiway join failed: %s\n",
                  stats.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("3-way join: %llu (road, river, parcel) triples\n",
-              (unsigned long long)stats->output_count);
-  std::printf("modeled time: %.2f s; peak in-memory state: %.0f KB\n",
-              stats->disk.io_seconds +
-                  stats->host_cpu_seconds * disk.machine().cpu_slowdown,
-              stats->max_bytes / 1024.0);
+  std::cout << "3-way (road, river, parcel) join: "
+            << stats->Describe(disk.machine()) << "\n";
   for (size_t i = 0; i < sink.tuples().size() && i < 5; ++i) {
     const auto& t = sink.tuples()[i];
     std::printf("  candidate site: road #%u x river #%u in parcel #%u\n",

@@ -2,13 +2,14 @@
 //
 // Generates two small TIGER-like relations, stores them as streams on a
 // simulated disk, builds an R-tree over one of them, and runs the same
-// join three ways through the unified API: fully non-indexed (SSSJ),
-// mixed indexed/non-indexed (PQ), and planner-chosen (kAuto).
+// join three ways through the JoinQuery builder: fully non-indexed
+// (SSSJ), mixed indexed/non-indexed (PQ), and planner-chosen (kAuto).
 //
 //   ./examples/quickstart
 
 #include <cstdio>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
 #include "datagen/tiger_gen.h"
 #include "io/stream.h"
@@ -55,7 +56,8 @@ int main() {
               (unsigned long long)roads_tree->node_count(),
               roads_tree->height(), roads_tree->AveragePacking() * 100);
 
-  // 4. Join! Any mix of indexed and non-indexed inputs works.
+  // 4. Join! Any mix of indexed and non-indexed inputs works; the query
+  //    builder composes inputs, algorithm and options per query.
   SpatialJoiner joiner(&disk, JoinOptions());
   const MachineModel& machine = disk.machine();
   for (JoinAlgorithm algo :
@@ -65,19 +67,18 @@ int main() {
     const JoinInput left = algo == JoinAlgorithm::kSSSJ
                                ? JoinInput::FromStream(roads_ref)
                                : JoinInput::FromRTree(&*roads_tree);
-    auto stats =
-        joiner.Join(left, JoinInput::FromStream(hydro_ref), &sink, algo);
+    auto stats = JoinQuery(joiner)
+                     .Input(left)
+                     .Input(JoinInput::FromStream(hydro_ref))
+                     .Algorithm(algo)
+                     .Run(&sink);
     if (!stats.ok()) {
       std::fprintf(stderr, "join failed: %s\n",
                    stats.status().ToString().c_str());
       return 1;
     }
-    std::printf(
-        "%-5s -> %llu intersecting pairs | modeled %.2fs (I/O %.2fs + CPU "
-        "%.2fs) | sweep max %.0f KB\n",
-        ToString(algo), (unsigned long long)stats->output_count,
-        stats->ObservedSeconds(machine), stats->ObservedIoSeconds(),
-        stats->ScaledCpuSeconds(machine), stats->max_sweep_bytes / 1024.0);
+    std::printf("%-5s -> %s\n", ToString(algo),
+                stats->Describe(machine).c_str());
   }
   return 0;
 }

@@ -1,42 +1,22 @@
 #include "core/spatial_join.h"
 
 #include <algorithm>
+#include <string>
 
-#include "refine/refine.h"
-#include "sort/external_sort.h"
-#include "util/timer.h"
+#include "core/join_query.h"
 
 namespace sj {
-
-const char* ToString(JoinAlgorithm algo) {
-  switch (algo) {
-    case JoinAlgorithm::kAuto:
-      return "AUTO";
-    case JoinAlgorithm::kSSSJ:
-      return "SSSJ";
-    case JoinAlgorithm::kPBSM:
-      return "PBSM";
-    case JoinAlgorithm::kST:
-      return "ST";
-    case JoinAlgorithm::kPQ:
-      return "PQ";
-  }
-  return "?";
-}
-
-uint64_t JoinInput::pages() const {
-  if (indexed()) return rtree_->node_count();
-  constexpr uint64_t per_page = kPageSize / sizeof(RectF);
-  return (count() + per_page - 1) / per_page;
-}
-
-uint64_t SpatialJoiner::PreparedSource::index_pages_read() const {
-  return pq != nullptr ? pq->pages_read() : 0;
-}
 
 PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
                                  const GridHistogram* hist_a,
                                  const GridHistogram* hist_b) const {
+  return Plan(a, b, hist_a, hist_b, options_);
+}
+
+PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
+                                 const GridHistogram* hist_a,
+                                 const GridHistogram* hist_b,
+                                 const JoinOptions& options) const {
   PlanDecision decision;
   const uint64_t total_pages = a.pages() + b.pages();
 
@@ -59,13 +39,13 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
 
   // The refinement I/O term (§6.3 extended to the filter-and-refine
   // pipeline): every plan pays it equally, on top of its filter cost.
-  if (options_.refine && a.features() != nullptr && b.features() != nullptr) {
+  if (options.refine && a.features() != nullptr && b.features() != nullptr) {
     const uint64_t est_candidates = static_cast<uint64_t>(
         std::max(frac_a, frac_b) *
         static_cast<double>(std::min(a.count(), b.count())));
     decision.refine_cost_seconds = cost_model_.RefineSeconds(
         est_candidates, a.features()->data_pages(), b.features()->data_pages(),
-        options_.refine_batch_pairs);
+        options.refine_batch_pairs);
   }
   decision.stream_cost_seconds =
       cost_model_.SSSJSeconds(total_pages) + decision.refine_cost_seconds;
@@ -109,237 +89,24 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
   return decision;
 }
 
-Result<DatasetRef> SpatialJoiner::ExtractLeaves(const RTree& tree) {
-  auto out = MakeMemoryPager(disk_, "extract.leaves");
-  StreamWriter<RectF> writer(out.get());
-  const PageId first = writer.first_page();
-  std::vector<RectF> all;
-  SJ_RETURN_IF_ERROR(tree.CollectAll(&all));
-  for (const RectF& r : all) writer.Append(r);
-  SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
-  DatasetRef ref;
-  ref.range = StreamRange{out.get(), first, n};
-  ref.extent = tree.bounding_box();
-  // Leak the pager intentionally into the DatasetRef's lifetime: callers
-  // of Join() only use the extraction within the call. To keep ownership
-  // explicit we instead stash it on the joiner-scoped list.
-  extracted_.push_back(std::move(out));
-  return ref;
-}
-
-Result<SpatialJoiner::PreparedSource> SpatialJoiner::PrepareSource(
-    const JoinInput& input, const RectF* other_extent,
-    const GridHistogram* other_hist) {
-  PreparedSource prepared;
-  switch (input.kind()) {
-    case JoinInput::Kind::kRTree: {
-      RTreePQSource::Options options;
-      if (other_extent != nullptr && other_extent->Valid()) {
-        prepared.filter = std::make_unique<RectF>(*other_extent);
-        options.filter = prepared.filter.get();
-      }
-      options.occupancy = other_hist;
-      auto source =
-          std::make_unique<RTreePQSource>(input.rtree(), options);
-      prepared.pq = source.get();
-      prepared.source = std::move(source);
-      return prepared;
-    }
-    case JoinInput::Kind::kSortedStream: {
-      prepared.source =
-          std::make_unique<SortedStreamSource>(input.stream().range);
-      return prepared;
-    }
-    case JoinInput::Kind::kStream: {
-      prepared.scratch = MakeMemoryPager(disk_, "join.sort.runs");
-      prepared.sorted = MakeMemoryPager(disk_, "join.sort.out");
-      SJ_ASSIGN_OR_RETURN(
-          StreamRange sorted,
-          SortRectsByYLo(input.stream().range, prepared.scratch.get(),
-                         prepared.sorted.get(), options_.memory_bytes / 2));
-      prepared.source = std::make_unique<SortedStreamSource>(sorted);
-      return prepared;
-    }
-  }
-  return Status::Internal("unreachable join input kind");
-}
-
 Result<JoinStats> SpatialJoiner::Join(const JoinInput& a, const JoinInput& b,
                                       JoinSink* sink, JoinAlgorithm algorithm,
                                       const GridHistogram* hist_a,
                                       const GridHistogram* hist_b) {
-  if (algorithm == JoinAlgorithm::kAuto) {
-    algorithm = Plan(a, b, hist_a, hist_b).algorithm;
-  }
-  if (!options_.refine) {
-    SJ_ASSIGN_OR_RETURN(JoinStats stats,
-                        RunFilterJoin(a, b, sink, algorithm, hist_a, hist_b));
-    stats.candidate_count = stats.output_count;
-    return stats;
-  }
-  if (a.features() == nullptr || b.features() == nullptr) {
-    return Status::FailedPrecondition(
-        "options.refine requires FeatureStores on both inputs "
-        "(JoinInput::WithFeatures)");
-  }
-  // Filter step: the MBR join buffers candidates; refinement resolves
-  // them against exact geometry and forwards survivors to the caller.
-  CollectingSink candidates;
-  SJ_ASSIGN_OR_RETURN(
-      JoinStats stats,
-      RunFilterJoin(a, b, &candidates, algorithm, hist_a, hist_b));
-  ThreadCpuTimer refine_cpu;
-  SJ_ASSIGN_OR_RETURN(RefineStats refined,
-                      RefinePairs(candidates.pairs(), *a.features(),
-                                  *b.features(), options_, sink));
-  stats.candidate_count = refined.candidates;
-  stats.output_count = refined.results;
-  stats.refine_pages_read = refined.pages_read;
-  stats.disk += refined.disk;
-  stats.host_cpu_seconds += refine_cpu.Elapsed() + refined.host_cpu_seconds;
-  return stats;
-}
-
-Result<JoinStats> SpatialJoiner::RunFilterJoin(const JoinInput& a,
-                                               const JoinInput& b,
-                                               JoinSink* sink,
-                                               JoinAlgorithm algorithm,
-                                               const GridHistogram* hist_a,
-                                               const GridHistogram* hist_b) {
-  switch (algorithm) {
-    case JoinAlgorithm::kSSSJ:
-    case JoinAlgorithm::kPBSM: {
-      DatasetRef ra, rb;
-      if (a.indexed()) {
-        SJ_ASSIGN_OR_RETURN(ra, ExtractLeaves(*a.rtree()));
-      } else {
-        ra = a.stream();
-      }
-      if (b.indexed()) {
-        SJ_ASSIGN_OR_RETURN(rb, ExtractLeaves(*b.rtree()));
-      } else {
-        rb = b.stream();
-      }
-      if (algorithm == JoinAlgorithm::kSSSJ) {
-        return SSSJJoin(ra, rb, disk_, options_, sink);
-      }
-      return PBSMJoin(ra, rb, disk_, options_, sink);
-    }
-    case JoinAlgorithm::kST: {
-      if (!a.indexed() || !b.indexed()) {
-        return Status::FailedPrecondition(
-            "ST requires R-tree indexes on both inputs");
-      }
-      return STJoin(*a.rtree(), *b.rtree(), disk_, options_, sink);
-    }
-    case JoinAlgorithm::kPQ: {
-      const RectF extent_a = a.extent();
-      const RectF extent_b = b.extent();
-      SJ_ASSIGN_OR_RETURN(PreparedSource sa,
-                          PrepareSource(a, &extent_b, hist_b));
-      SJ_ASSIGN_OR_RETURN(PreparedSource sb,
-                          PrepareSource(b, &extent_a, hist_a));
-      RectF extent = a.extent();
-      extent.ExtendTo(b.extent());
-      SJ_ASSIGN_OR_RETURN(
-          JoinStats stats,
-          PQJoinSources(sa.source.get(), sb.source.get(), extent, disk_,
-                        options_, sink));
-      stats.index_pages_read = sa.index_pages_read() + sb.index_pages_read();
-      return stats;
-    }
-    case JoinAlgorithm::kAuto:
-      break;
-  }
-  return Status::Internal("unreachable join algorithm");
+  return JoinQuery(*this)
+      .Input(a)
+      .Input(b)
+      .WithHistogram(0, hist_a)
+      .WithHistogram(1, hist_b)
+      .Algorithm(algorithm)
+      .Run(sink);
 }
 
 Result<MultiwayStats> SpatialJoiner::MultiwayJoin(
     const std::vector<JoinInput>& inputs, TupleSink* sink) {
-  if (inputs.size() < 2) {
-    return Status::InvalidArgument("multiway join needs at least 2 inputs");
-  }
-  if (options_.refine) {
-    std::vector<const FeatureStore*> stores;
-    stores.reserve(inputs.size());
-    for (const JoinInput& input : inputs) {
-      if (input.features() == nullptr) {
-        return Status::FailedPrecondition(
-            "options.refine requires FeatureStores on all multiway inputs");
-      }
-      stores.push_back(input.features());
-    }
-    // Filter step without refinement, candidates buffered in memory.
-    JoinOptions filter_options = options_;
-    filter_options.refine = false;
-    SpatialJoiner filter_joiner(disk_, filter_options);
-    CollectingTupleSink candidates;
-    SJ_ASSIGN_OR_RETURN(MultiwayStats stats,
-                        filter_joiner.MultiwayJoin(inputs, &candidates));
-    ThreadCpuTimer refine_cpu;
-    SJ_ASSIGN_OR_RETURN(
-        RefineStats refined,
-        RefineTuples(candidates.tuples(), stores, options_, sink));
-    stats.candidate_count = refined.candidates;
-    stats.output_count = refined.results;
-    stats.refine_pages_read = refined.pages_read;
-    stats.disk += refined.disk;
-    stats.host_cpu_seconds += refine_cpu.Elapsed() + refined.host_cpu_seconds;
-    return stats;
-  }
-  std::vector<PreparedSource> prepared;
-  prepared.reserve(inputs.size());
-  RectF extent = RectF::Empty();
-  for (const JoinInput& input : inputs) {
-    SJ_ASSIGN_OR_RETURN(PreparedSource p, PrepareSource(input));
-    prepared.push_back(std::move(p));
-    extent.ExtendTo(input.extent());
-  }
-  if (options_.num_threads > 1) {
-    // Parallel path: materialize every prepared source as a y-sorted
-    // stream (index traversals included), then strip-partition the
-    // domain and join strips on the worker pool. The serial chain reads
-    // its sources lazily inside its own measurement, so the
-    // materialization pass here is measured too and folded into the
-    // returned stats — the counters must cover exactly the algorithm's
-    // own work either way.
-    JoinMeasurement materialize_measurement(disk_);
-    std::vector<std::unique_ptr<Pager>> stream_pagers;
-    std::vector<DatasetRef> streams;
-    stream_pagers.reserve(prepared.size());
-    streams.reserve(prepared.size());
-    for (size_t i = 0; i < prepared.size(); ++i) {
-      auto pager = MakeMemoryPager(
-          disk_, "multiway.materialized." + std::to_string(i));
-      StreamWriter<RectF> writer(pager.get());
-      const PageId first = writer.first_page();
-      while (std::optional<RectF> r = prepared[i].source->Next()) {
-        writer.Append(*r);
-      }
-      SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
-      DatasetRef ref;
-      ref.range = StreamRange{pager.get(), first, n};
-      ref.extent = inputs[i].extent();
-      streams.push_back(ref);
-      stream_pagers.push_back(std::move(pager));
-    }
-    const JoinStats materialize = materialize_measurement.Finish();
-    SJ_ASSIGN_OR_RETURN(
-        MultiwayStats stats,
-        MultiwayJoinStreams(streams, extent, disk_, options_, sink));
-    stats.disk += materialize.disk;
-    stats.host_cpu_seconds += materialize.host_cpu_seconds;
-    stats.candidate_count = stats.output_count;
-    return stats;
-  }
-  std::vector<SortedRectSource*> sources;
-  sources.reserve(prepared.size());
-  for (PreparedSource& p : prepared) sources.push_back(p.source.get());
-  SJ_ASSIGN_OR_RETURN(
-      MultiwayStats stats,
-      MultiwayJoinSources(sources, extent, disk_, options_, sink));
-  stats.candidate_count = stats.output_count;
-  return stats;
+  JoinQuery query(*this);
+  for (const JoinInput& input : inputs) query.Input(input);
+  return query.Run(sink);
 }
 
 }  // namespace sj

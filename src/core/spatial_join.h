@@ -1,110 +1,30 @@
 #ifndef USJ_CORE_SPATIAL_JOIN_H_
 #define USJ_CORE_SPATIAL_JOIN_H_
 
-#include <string>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "histogram/grid_histogram.h"
+#include "join/executor.h"
 #include "join/join_types.h"
 #include "join/multiway.h"
-#include "join/pbsm.h"
-#include "join/pq_join.h"
-#include "join/sssj.h"
-#include "join/st_join.h"
 #include "refine/feature_store.h"
 #include "rtree/rtree.h"
 #include "util/result.h"
 
 namespace sj {
 
-/// One side of a join in the unified API: a relation that is either a
-/// stream of MBRs (sorted or not) or a packed R-tree.
-class JoinInput {
- public:
-  enum class Kind { kStream, kSortedStream, kRTree };
-
-  static JoinInput FromStream(const DatasetRef& ref) {
-    return JoinInput(Kind::kStream, ref, nullptr);
-  }
-  /// The stream must already be sorted by OrderByYLo.
-  static JoinInput FromSortedStream(const DatasetRef& ref) {
-    return JoinInput(Kind::kSortedStream, ref, nullptr);
-  }
-  /// The tree must outlive the join.
-  static JoinInput FromRTree(const RTree* tree) {
-    return JoinInput(Kind::kRTree, DatasetRef{}, tree);
-  }
-
-  /// Attaches the relation's exact geometry (refinement step, see
-  /// JoinOptions::refine). The store must outlive the join. Chainable:
-  /// `JoinInput::FromStream(ref).WithFeatures(&store)` — the rvalue
-  /// overload returns by value, so chaining off a temporary never hands
-  /// out a dangling reference.
-  JoinInput& WithFeatures(const FeatureStore* store) & {
-    features_ = store;
-    return *this;
-  }
-  JoinInput WithFeatures(const FeatureStore* store) && {
-    features_ = store;
-    return *this;
-  }
-
-  Kind kind() const { return kind_; }
-  bool indexed() const { return kind_ == Kind::kRTree; }
-  const DatasetRef& stream() const { return stream_; }
-  const RTree* rtree() const { return rtree_; }
-  const FeatureStore* features() const { return features_; }
-
-  /// Number of MBR records in the relation.
-  uint64_t count() const {
-    return indexed() ? rtree_->meta().entry_count : stream_.count();
-  }
-  /// Pages occupied by the relation (index pages for trees).
-  uint64_t pages() const;
-  /// Spatial extent (must be computable without I/O for indexed inputs).
-  RectF extent() const {
-    return indexed() ? rtree_->bounding_box() : stream_.extent;
-  }
-
- private:
-  JoinInput(Kind kind, const DatasetRef& stream, const RTree* rtree)
-      : kind_(kind), stream_(stream), rtree_(rtree) {}
-
-  Kind kind_;
-  DatasetRef stream_;
-  const RTree* rtree_;
-  const FeatureStore* features_ = nullptr;
-};
-
-/// Which algorithm executes a join.
-enum class JoinAlgorithm {
-  kAuto,  ///< Let the planner decide from the cost model.
-  kSSSJ,
-  kPBSM,
-  kST,
-  kPQ,
-};
-
-const char* ToString(JoinAlgorithm algo);
-
-/// The planner's verdict, with the numbers behind it.
-struct PlanDecision {
-  JoinAlgorithm algorithm = JoinAlgorithm::kSSSJ;
-  /// Estimated fraction of index pages a PQ/ST traversal would touch.
-  double touched_fraction = 1.0;
-  double index_cost_seconds = 0.0;
-  double stream_cost_seconds = 0.0;
-  /// Estimated refinement I/O (0 unless options.refine and both inputs
-  /// carry FeatureStores). Included in both plan costs above — it is the
-  /// same for every filter algorithm, so it never flips the choice, but
-  /// the totals stay honest end-to-end estimates.
-  double refine_cost_seconds = 0.0;
-  std::string rationale;
-};
-
 /// The unified spatial join facade (deliverable of the paper's §4 + §6.3):
-/// accepts any mix of indexed and non-indexed inputs, optionally consults
-/// the cost model, and runs the chosen algorithm.
+/// shared machine state (the simulated disk, the cost model) plus default
+/// JoinOptions for every query posed against it.
+///
+/// Queries are built with JoinQuery (core/join_query.h), which compiles a
+/// CompiledPlan and dispatches to the ExecutorRegistry; the Join and
+/// MultiwayJoin methods below are thin compatibility wrappers over that
+/// pipeline. The joiner itself only plans (Plan — pure cost-model
+/// arithmetic, no I/O) and carries state; it is never mutated by a query,
+/// so one joiner can serve many concurrent query *descriptions* (actual
+/// executions share the DiskModel and must be serialized by the caller).
 class SpatialJoiner {
  public:
   /// `disk` provides temporary space and cost accounting; its MachineModel
@@ -119,15 +39,32 @@ class SpatialJoiner {
                     const GridHistogram* hist_a = nullptr,
                     const GridHistogram* hist_b = nullptr) const;
 
-  /// Runs the join with `algorithm` (kAuto = use Plan()). Results go to
-  /// `sink` as (id from a, id from b) pairs.
+  /// Plan under explicit options (the per-query variant: JoinQuery passes
+  /// its effective options so overrides like Refine(true) price the
+  /// refinement term consistently). The 4-argument form above is this
+  /// with the joiner's own defaults.
+  PlanDecision Plan(const JoinInput& a, const JoinInput& b,
+                    const GridHistogram* hist_a, const GridHistogram* hist_b,
+                    const JoinOptions& options) const;
+
+  /// Legacy pairwise entry point — equivalent to
+  ///
+  ///   JoinQuery(*this).Input(a).Input(b)
+  ///       .WithHistogram(0, hist_a).WithHistogram(1, hist_b)
+  ///       .Algorithm(algorithm).Run(sink)
+  ///
+  /// New code should build the JoinQuery directly: it attaches histograms
+  /// to inputs instead of a positional tail, overrides any option per
+  /// query, and selects non-intersection predicates.
   Result<JoinStats> Join(const JoinInput& a, const JoinInput& b,
                          JoinSink* sink,
                          JoinAlgorithm algorithm = JoinAlgorithm::kAuto,
                          const GridHistogram* hist_a = nullptr,
                          const GridHistogram* hist_b = nullptr);
 
-  /// k-way intersection join over any mix of inputs (§4's extension).
+  /// Legacy k-way entry point (§4's extension) — equivalent to a
+  /// JoinQuery with every element of `inputs` added via Input() and run
+  /// against a TupleSink.
   Result<MultiwayStats> MultiwayJoin(const std::vector<JoinInput>& inputs,
                                      TupleSink* sink);
 
@@ -136,41 +73,9 @@ class SpatialJoiner {
   const JoinOptions& options() const { return options_; }
 
  private:
-  /// The MBR filter step: runs `algorithm` without refinement.
-  Result<JoinStats> RunFilterJoin(const JoinInput& a, const JoinInput& b,
-                                  JoinSink* sink, JoinAlgorithm algorithm,
-                                  const GridHistogram* hist_a,
-                                  const GridHistogram* hist_b);
-
-  /// Materializes an indexed input as a stream (sequential leaf scan), for
-  /// running stream algorithms against trees.
-  Result<DatasetRef> ExtractLeaves(const RTree& tree);
-
-  /// Sorted source over any input (sorting streams as needed). The
-  /// returned pagers (if any) own temporary space and must stay alive for
-  /// the source's lifetime. Indexed inputs become *selective* PQ
-  /// traversals pruned by the other input's extent (always safe) and
-  /// occupancy histogram (when provided) — the §6.3 refinement that makes
-  /// localized joins touch only the relevant part of the index.
-  struct PreparedSource {
-    std::unique_ptr<SortedRectSource> source;
-    std::unique_ptr<Pager> scratch;
-    std::unique_ptr<Pager> sorted;
-    std::unique_ptr<RectF> filter;  // Owned pruning rectangle.
-    uint64_t index_pages_read() const;
-    RTreePQSource* pq = nullptr;  // Set when the source is an index adapter.
-  };
-  Result<PreparedSource> PrepareSource(const JoinInput& input,
-                                       const RectF* other_extent = nullptr,
-                                       const GridHistogram* other_hist =
-                                           nullptr);
-
   DiskModel* disk_;
   JoinOptions options_;
   CostModel cost_model_;
-  /// Temporary streams created by ExtractLeaves; kept alive for the
-  /// joiner's lifetime so returned DatasetRefs stay valid.
-  std::vector<std::unique_ptr<Pager>> extracted_;
 };
 
 }  // namespace sj

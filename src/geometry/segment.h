@@ -63,6 +63,70 @@ inline bool SegmentsIntersect(const Segment& s, const Segment& t) {
   return false;
 }
 
+namespace geometry_internal {
+
+/// Squared Euclidean distance from point p to the closed segment (a, b).
+inline double PointSegmentDistanceSquared(double px, double py, double ax,
+                                          double ay, double bx, double by) {
+  const double dx = bx - ax, dy = by - ay;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((px - ax) * dx + (py - ay) * dy) / len2;
+    t = std::max(0.0, std::min(1.0, t));
+  }
+  const double cx = ax + t * dx, cy = ay + t * dy;
+  return (px - cx) * (px - cx) + (py - cy) * (py - cy);
+}
+
+}  // namespace geometry_internal
+
+/// Squared Euclidean distance between the closed segments (0 when they
+/// intersect). Non-intersecting segments realize their distance at an
+/// endpoint of one of them, so the minimum over the four point-to-segment
+/// distances is exact.
+inline double SegmentDistanceSquared(const Segment& s, const Segment& t) {
+  if (SegmentsIntersect(s, t)) return 0.0;
+  using geometry_internal::PointSegmentDistanceSquared;
+  const double d1 =
+      PointSegmentDistanceSquared(s.x1, s.y1, t.x1, t.y1, t.x2, t.y2);
+  const double d2 =
+      PointSegmentDistanceSquared(s.x2, s.y2, t.x1, t.y1, t.x2, t.y2);
+  const double d3 =
+      PointSegmentDistanceSquared(t.x1, t.y1, s.x1, s.y1, s.x2, s.y2);
+  const double d4 =
+      PointSegmentDistanceSquared(t.x2, t.y2, s.x1, s.y1, s.x2, s.y2);
+  return std::min(std::min(d1, d2), std::min(d3, d4));
+}
+
+/// True when the Euclidean distance between the closed segments is at most
+/// `epsilon` — the exact form of the ε-distance join predicate. epsilon
+/// must be non-negative; 0 degenerates to SegmentsIntersect.
+inline bool SegmentsWithinDistance(const Segment& s, const Segment& t,
+                                   double epsilon) {
+  return SegmentDistanceSquared(s, t) <= epsilon * epsilon;
+}
+
+/// True when segment `inner` lies entirely on segment `outer` (closed
+/// sense): both endpoints of `inner` are on `outer`, which for a straight
+/// segment implies every point between them is too. Degenerate (point)
+/// inners are contained when the point lies on `outer`. This is the exact
+/// form of the containment join predicate for polyline fragments.
+inline bool SegmentContainsSegment(const Segment& outer,
+                                   const Segment& inner) {
+  using geometry_internal::OnSegment;
+  using geometry_internal::Orientation;
+  const bool p1_on =
+      Orientation(outer.x1, outer.y1, outer.x2, outer.y2, inner.x1,
+                  inner.y1) == 0 &&
+      OnSegment(outer.x1, outer.y1, outer.x2, outer.y2, inner.x1, inner.y1);
+  if (!p1_on) return false;
+  return Orientation(outer.x1, outer.y1, outer.x2, outer.y2, inner.x2,
+                     inner.y2) == 0 &&
+         OnSegment(outer.x1, outer.y1, outer.x2, outer.y2, inner.x2,
+                   inner.y2);
+}
+
 }  // namespace sj
 
 #endif  // USJ_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,212 @@
+#ifndef USJ_JOIN_EXECUTOR_H_
+#define USJ_JOIN_EXECUTOR_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "histogram/grid_histogram.h"
+#include "io/disk_model.h"
+#include "join/join_types.h"
+#include "join/multiway.h"
+#include "join/predicate.h"
+#include "refine/feature_store.h"
+#include "rtree/rtree.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// One side of a join in the unified API: a relation that is either a
+/// stream of MBRs (sorted or not) or a packed R-tree.
+class JoinInput {
+ public:
+  enum class Kind { kStream, kSortedStream, kRTree };
+
+  static JoinInput FromStream(const DatasetRef& ref) {
+    return JoinInput(Kind::kStream, ref, nullptr);
+  }
+  /// The stream must already be sorted by OrderByYLo.
+  static JoinInput FromSortedStream(const DatasetRef& ref) {
+    return JoinInput(Kind::kSortedStream, ref, nullptr);
+  }
+  /// The tree must outlive the join.
+  static JoinInput FromRTree(const RTree* tree) {
+    return JoinInput(Kind::kRTree, DatasetRef{}, tree);
+  }
+
+  /// Attaches the relation's exact geometry (refinement step, see
+  /// JoinOptions::refine). The store must outlive the join. Chainable:
+  /// `JoinInput::FromStream(ref).WithFeatures(&store)` — the rvalue
+  /// overload returns by value, so chaining off a temporary never hands
+  /// out a dangling reference.
+  JoinInput& WithFeatures(const FeatureStore* store) & {
+    features_ = store;
+    return *this;
+  }
+  JoinInput WithFeatures(const FeatureStore* store) && {
+    features_ = store;
+    return *this;
+  }
+
+  Kind kind() const { return kind_; }
+  bool indexed() const { return kind_ == Kind::kRTree; }
+  const DatasetRef& stream() const { return stream_; }
+  const RTree* rtree() const { return rtree_; }
+  const FeatureStore* features() const { return features_; }
+
+  /// Number of MBR records in the relation.
+  uint64_t count() const {
+    return indexed() ? rtree_->meta().entry_count : stream_.count();
+  }
+  /// Pages occupied by the relation (index pages for trees).
+  uint64_t pages() const;
+  /// Spatial extent (must be computable without I/O for indexed inputs).
+  RectF extent() const {
+    return indexed() ? rtree_->bounding_box() : stream_.extent;
+  }
+
+ private:
+  JoinInput(Kind kind, const DatasetRef& stream, const RTree* rtree)
+      : kind_(kind), stream_(stream), rtree_(rtree) {}
+
+  Kind kind_;
+  DatasetRef stream_;
+  const RTree* rtree_;
+  const FeatureStore* features_ = nullptr;
+};
+
+/// Which algorithm executes a join.
+enum class JoinAlgorithm {
+  kAuto,  ///< Let the planner decide from the cost model.
+  kSSSJ,
+  kPBSM,
+  kST,
+  kPQ,
+};
+
+const char* ToString(JoinAlgorithm algo);
+
+/// The planner's verdict, with the numbers behind it.
+struct PlanDecision {
+  JoinAlgorithm algorithm = JoinAlgorithm::kSSSJ;
+  /// Estimated fraction of index pages a PQ/ST traversal would touch.
+  double touched_fraction = 1.0;
+  double index_cost_seconds = 0.0;
+  double stream_cost_seconds = 0.0;
+  /// Estimated refinement I/O (0 unless options.refine and both inputs
+  /// carry FeatureStores). Included in both plan costs above — it is the
+  /// same for every filter algorithm, so it never flips the choice, but
+  /// the totals stay honest end-to-end estimates.
+  double refine_cost_seconds = 0.0;
+  std::string rationale;
+
+  /// One human-readable line: algorithm, touched fraction, both plan
+  /// costs, and the rationale.
+  std::string Describe() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const PlanDecision& decision);
+
+/// The compile step's output: a JoinQuery resolved into exactly what an
+/// executor needs — filter-ready inputs (ε-expansion for distance
+/// predicates already applied, temporaries owned here), the effective
+/// per-query options, the predicate, and the planner's decision. One plan
+/// structure for every algorithm, so adding an executor never touches the
+/// facade.
+struct CompiledPlan {
+  DiskModel* disk = nullptr;
+  /// Effective options for this query (the joiner's defaults plus the
+  /// query's overrides). Executors must read options from here, never
+  /// from the joiner.
+  JoinOptions options;
+  PredicateSpec predicate;
+  /// Resolved inputs, in query order. For kDistanceWithin one side has
+  /// been rewritten to an ε-expanded copy (a stream, or a rebuilt tree if
+  /// the ST executor needs an index on that side).
+  std::vector<JoinInput> inputs;
+  /// Per-input occupancy histograms available for *pruning* index
+  /// traversals (nullptr entries allowed). Cleared by the compile step
+  /// when ε-expansion would make histogram pruning unsafe.
+  std::vector<const GridHistogram*> prune_histograms;
+  /// The planner's decision for pairwise plans (decision.algorithm is the
+  /// algorithm to execute; for forced algorithms the rationale says so).
+  PlanDecision decision;
+  /// I/O and CPU the compile step itself spent (ε-expansion passes,
+  /// expanded-tree rebuilds); folded into the query's reported stats.
+  DiskStats compile_disk;
+  double compile_cpu_seconds = 0.0;
+
+  /// Temporaries backing resolved inputs; owned by the plan so resolved
+  /// DatasetRefs and trees stay valid for its lifetime.
+  std::vector<std::unique_ptr<Pager>> owned_pagers;
+  std::vector<std::unique_ptr<RTree>> owned_trees;
+
+  const GridHistogram* prune_histogram(size_t i) const {
+    return i < prune_histograms.size() ? prune_histograms[i] : nullptr;
+  }
+};
+
+/// One join algorithm behind the unified facade. Executors run the MBR
+/// *filter step* only: predicates and refinement are applied by the query
+/// layer around them, so an executor is exactly "pairs of intersecting
+/// MBRs from plan.inputs[0] x plan.inputs[1] into sink".
+///
+/// Implementations are stateless (per-execution state lives on the plan
+/// or the executor's stack) and registered once in the ExecutorRegistry.
+class JoinExecutor {
+ public:
+  virtual ~JoinExecutor() = default;
+
+  /// The algorithm this executor implements (its registry key).
+  virtual JoinAlgorithm algorithm() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Fast structural check (input kinds etc.) before any I/O.
+  virtual Status Validate(const CompiledPlan& plan) const;
+
+  /// Runs the filter join. May allocate temporaries on the plan
+  /// (leaf-extraction streams), which is why the plan is mutable.
+  virtual Result<JoinStats> Execute(CompiledPlan& plan,
+                                    JoinSink* sink) const = 0;
+};
+
+/// The table of executors, keyed by JoinAlgorithm. The four built-in
+/// algorithms (SSSJ, PBSM, ST, PQ) register themselves on first use; an
+/// out-of-tree algorithm registers with Register() once at startup and is
+/// then reachable through the whole JoinQuery/SpatialJoiner surface —
+/// adding an algorithm never touches the facade.
+class ExecutorRegistry {
+ public:
+  static ExecutorRegistry& Instance();
+
+  /// Registers `executor` (not owned; must outlive the registry) under
+  /// executor->algorithm(). Replaces any previous registration.
+  void Register(const JoinExecutor* executor);
+
+  /// The executor for `algo`, or nullptr when none is registered (kAuto
+  /// never has one: it resolves to a concrete algorithm at plan time).
+  const JoinExecutor* Find(JoinAlgorithm algo) const;
+
+ private:
+  ExecutorRegistry();
+
+  static constexpr size_t kSlots = 8;
+  const JoinExecutor* table_[kSlots] = {};
+};
+
+/// Convenience wrapper over ExecutorRegistry::Instance().Find().
+const JoinExecutor* FindExecutor(JoinAlgorithm algo);
+
+/// The k-way filter execution (§4's extension): every plan.inputs entry
+/// becomes a sorted source (selective index traversals included) feeding
+/// the left-deep chain of lazy PQ sweeps — or, with options.num_threads >
+/// 1, the strip-parallel path over materialized streams. Algorithm
+/// dispatch does not apply (the chain is the only k-way execution), which
+/// is why this is a free function rather than a registry entry.
+Result<MultiwayStats> ExecuteMultiwayFilter(CompiledPlan& plan,
+                                            TupleSink* sink);
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_EXECUTOR_H_

@@ -1,6 +1,39 @@
 #include "join/join_types.h"
 
+#include <ostream>
+#include <sstream>
+
 namespace sj {
+
+std::string JoinStats::Describe() const {
+  std::ostringstream os;
+  os << output_count << " result pairs";
+  if (candidate_count != output_count) {
+    os << " (" << candidate_count << " candidates before refinement, "
+       << refine_pages_read << " feature pages fetched)";
+  }
+  os << "; " << disk.pages_read << " pages read, " << disk.pages_written
+     << " written";
+  if (index_pages_read > 0) os << " (" << index_pages_read << " index)";
+  if (max_sweep_bytes > 0) {
+    os << "; sweep max " << (max_sweep_bytes + 1023) / 1024 << " KB";
+  }
+  return os.str();
+}
+
+std::string JoinStats::Describe(const MachineModel& m) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << Describe() << "; modeled " << ObservedSeconds(m) << " s ("
+     << ObservedIoSeconds() << " s I/O + " << ScaledCpuSeconds(m)
+     << " s CPU)";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const JoinStats& stats) {
+  return os << stats.Describe();
+}
 
 Result<RectF> EnsureExtent(const DatasetRef& input) {
   if (input.extent.Valid()) return input.extent;

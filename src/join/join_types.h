@@ -2,6 +2,8 @@
 #define USJ_JOIN_JOIN_TYPES_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "geometry/rect.h"
@@ -121,7 +123,17 @@ struct JoinStats {
   double ScaledCpuSeconds(const MachineModel& m) const {
     return host_cpu_seconds * m.cpu_slowdown;
   }
+
+  /// One human-readable line of the machine-independent counters (result
+  /// and candidate counts, pages, peak structure sizes).
+  std::string Describe() const;
+  /// Describe() plus the modeled times under machine `m` (observed
+  /// seconds with the I/O and scaled-CPU split).
+  std::string Describe(const MachineModel& m) const;
 };
+
+/// Streams Describe() — the machine-independent form.
+std::ostream& operator<<(std::ostream& os, const JoinStats& stats);
 
 /// Consumer of join output pairs. Pair order is (id from input A, id from
 /// input B).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <ostream>
+#include <sstream>
 #include <string>
 
 #include "join/strip_map.h"
@@ -11,6 +13,34 @@
 #include "util/timer.h"
 
 namespace sj {
+
+std::string MultiwayStats::Describe() const {
+  std::ostringstream os;
+  os << output_count << " result tuples";
+  if (candidate_count != output_count) {
+    os << " (" << candidate_count << " candidates before refinement, "
+       << refine_pages_read << " feature pages fetched)";
+  }
+  os << "; " << disk.pages_read << " pages read, " << disk.pages_written
+     << " written; peak in-memory state "
+     << (max_bytes + 1023) / 1024 << " KB";
+  return os.str();
+}
+
+std::string MultiwayStats::Describe(const MachineModel& m) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << Describe() << "; modeled "
+     << (disk.io_seconds + host_cpu_seconds * m.cpu_slowdown) << " s ("
+     << disk.io_seconds << " s I/O)";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MultiwayStats& stats) {
+  return os << stats.Describe();
+}
+
 namespace {
 
 template <typename Structure>

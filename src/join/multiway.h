@@ -1,7 +1,9 @@
 #ifndef USJ_JOIN_MULTIWAY_H_
 #define USJ_JOIN_MULTIWAY_H_
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "io/disk_model.h"
@@ -69,7 +71,15 @@ struct MultiwayStats {
   /// refinement, and feature-store pages the refinement step fetched.
   uint64_t candidate_count = 0;
   uint64_t refine_pages_read = 0;
+
+  /// One human-readable line of the machine-independent counters.
+  std::string Describe() const;
+  /// Describe() plus the modeled time under machine `m`.
+  std::string Describe(const MachineModel& m) const;
 };
+
+/// Streams Describe() — the machine-independent form.
+std::ostream& operator<<(std::ostream& os, const MultiwayStats& stats);
 
 /// k-way intersection join (k >= 2): reports every k-tuple of objects, one
 /// per input, whose MBRs have a common intersection point. Evaluated as a

@@ -1,0 +1,117 @@
+#ifndef USJ_JOIN_PREDICATE_H_
+#define USJ_JOIN_PREDICATE_H_
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+
+namespace sj {
+
+/// The join predicate of a query. Every predicate is evaluated in two
+/// steps, matching the library's filter-and-refine pipeline:
+///
+///  * kIntersects     — filter: MBR overlap; refine: exact segment
+///                      intersection. The classic spatial join.
+///  * kDistanceWithin — filter: MBR overlap after ε-expanding one side's
+///                      rectangles (an L∞ overapproximation of the L2
+///                      predicate, so the candidate set is a superset);
+///                      refine: exact Euclidean segment distance ≤ ε.
+///  * kContains       — "input 0 contains input 1". A refine-stage
+///                      predicate: the filter is plain MBR overlap (a
+///                      containing pair always overlaps), and the exact
+///                      test requires FeatureStores on both inputs, so
+///                      queries must enable refinement.
+enum class Predicate {
+  kIntersects,
+  kDistanceWithin,
+  kContains,
+};
+
+inline const char* ToString(Predicate predicate) {
+  switch (predicate) {
+    case Predicate::kIntersects:
+      return "INTERSECTS";
+    case Predicate::kDistanceWithin:
+      return "DISTANCE_WITHIN";
+    case Predicate::kContains:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+/// A predicate plus its parameter. epsilon is only meaningful for
+/// kDistanceWithin (Euclidean distance bound, in coordinate units).
+struct PredicateSpec {
+  Predicate kind = Predicate::kIntersects;
+  double epsilon = 0.0;
+
+  std::string Describe() const {
+    if (kind == Predicate::kDistanceWithin) {
+      std::ostringstream os;
+      os << ToString(kind) << "(eps=" << epsilon << ")";
+      return os.str();
+    }
+    return ToString(kind);
+  }
+};
+
+/// The refinement-step truth of `spec` for a candidate pair whose exact
+/// geometries are `a` and `b` (order matters for kContains: a contains b).
+inline bool EvaluateExactPredicate(const PredicateSpec& spec, const Segment& a,
+                                   const Segment& b) {
+  switch (spec.kind) {
+    case Predicate::kIntersects:
+      return SegmentsIntersect(a, b);
+    case Predicate::kDistanceWithin:
+      return SegmentsWithinDistance(a, b, spec.epsilon);
+    case Predicate::kContains:
+      return SegmentContainsSegment(a, b);
+  }
+  return false;
+}
+
+namespace predicate_internal {
+
+/// Conversions to float that never round toward the interior: lows round
+/// down, highs round up, so the expanded rectangle always covers the
+/// exact (double-precision) expansion.
+inline float FloatRoundedDown(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) > v) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+inline float FloatRoundedUp(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+}  // namespace predicate_internal
+
+/// The filter-step transform of the ε-distance predicate: `r` grown by at
+/// least epsilon on every side (id preserved; computed in double with
+/// outward float rounding, so no edge ever rounds toward the interior).
+/// Two rectangles are within L∞ distance ε iff one of them expanded this
+/// way intersects the other, and L2 distance ≤ L∞ distance, so an MBR
+/// join over one expanded side never drops a true ε-distance result.
+/// Tests use this exact function to build the filter-step oracle.
+inline RectF ExpandRectForDistance(const RectF& r, double epsilon) {
+  using predicate_internal::FloatRoundedDown;
+  using predicate_internal::FloatRoundedUp;
+  return RectF(FloatRoundedDown(static_cast<double>(r.xlo) - epsilon),
+               FloatRoundedDown(static_cast<double>(r.ylo) - epsilon),
+               FloatRoundedUp(static_cast<double>(r.xhi) + epsilon),
+               FloatRoundedUp(static_cast<double>(r.yhi) + epsilon), r.id);
+}
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_PREDICATE_H_

@@ -55,7 +55,8 @@ RefineStats MergeShards(const std::vector<BatchShard>& shards, bool pooled,
 Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
                                 const FeatureStore& store_a,
                                 const FeatureStore& store_b,
-                                const JoinOptions& options, JoinSink* sink) {
+                                const JoinOptions& options, JoinSink* sink,
+                                const PredicateSpec& predicate) {
   const uint64_t batch = std::max<uint32_t>(1, options.refine_batch_pairs);
   const uint64_t n = candidates.size();
   const uint64_t nbatches = (n + batch - 1) / batch;
@@ -93,7 +94,7 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
         shard.pages_read = pages_a + pages_b;
         JoinSink* out = pooled ? static_cast<JoinSink*>(&buffered[i]) : sink;
         for (uint64_t k = 0; k < hi - lo; ++k) {
-          if (SegmentsIntersect(geom_a[k], geom_b[k])) {
+          if (EvaluateExactPredicate(predicate, geom_a[k], geom_b[k])) {
             out->Emit(ids_a[k], ids_b[k]);
             shard.results++;
           }

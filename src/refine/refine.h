@@ -6,6 +6,7 @@
 #include "io/disk_model.h"
 #include "join/join_types.h"
 #include "join/multiway.h"
+#include "join/predicate.h"
 #include "refine/feature_store.h"
 #include "util/result.h"
 
@@ -30,8 +31,10 @@ struct RefineStats {
 
 /// The batched refinement executor for two-way joins: consumes candidate
 /// MBR pairs (ids into `store_a` / `store_b`), fetches both geometries a
-/// batch at a time, applies the exact segment-intersection predicate, and
-/// emits surviving pairs to `sink`.
+/// batch at a time, applies the exact form of `predicate` (segment
+/// intersection by default; ε-distance and containment for the query
+/// API's other predicates — see join/predicate.h), and emits surviving
+/// pairs to `sink`.
 ///
 /// Batches of options.refine_batch_pairs candidates are independent work
 /// units on the options.num_threads pool; each runs against a private
@@ -40,7 +43,9 @@ struct RefineStats {
 Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
                                 const FeatureStore& store_a,
                                 const FeatureStore& store_b,
-                                const JoinOptions& options, JoinSink* sink);
+                                const JoinOptions& options, JoinSink* sink,
+                                const PredicateSpec& predicate =
+                                    PredicateSpec{});
 
 /// Refinement for k-way joins: a candidate tuple survives when every pair
 /// of member segments intersects (the natural exact analog of the k-way

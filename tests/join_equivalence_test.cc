@@ -11,10 +11,12 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
 #include "datagen/synthetic.h"
 #include "datagen/tiger_gen.h"
 #include "join/bfs_join.h"
+#include "join/sssj.h"
 #include "refine/feature_store.h"
 #include "test_util.h"
 
@@ -110,7 +112,8 @@ TEST_P(JoinEquivalence, AllFourAlgorithmsMatchBruteForce) {
   for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
                              JoinAlgorithm::kST, JoinAlgorithm::kPQ}) {
     CollectingSink sink;
-    auto stats = joiner.Join(ia, ib, &sink, algo);
+    auto stats =
+        JoinQuery(joiner).Input(ia).Input(ib).Algorithm(algo).Run(&sink);
     ASSERT_TRUE(stats.ok()) << ToString(algo) << ": "
                             << stats.status().ToString();
     EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
@@ -270,33 +273,369 @@ TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
       ia.WithFeatures(&*store_a);
       ib.WithFeatures(&*store_b);
       for (uint32_t threads : {1u, 2u, 8u}) {
+        // One shared joiner per workload config; every variation below is
+        // a per-query override, never a joiner mutation.
         JoinOptions options;
         options.memory_bytes = w.memory_bytes;
         options.buffer_pool_pages = std::max<size_t>(
             16, w.memory_bytes / kPageSize);
-        options.num_threads = threads;
-        options.refine_batch_pairs = 512;
+        SpatialJoiner joiner(&td.disk, options);
         {
-          SpatialJoiner joiner(&td.disk, options);
           CollectingSink sink;
-          auto stats = joiner.Join(ia, ib, &sink, algo);
+          auto stats = JoinQuery(joiner)
+                           .Input(ia)
+                           .Input(ib)
+                           .Algorithm(algo)
+                           .Threads(threads)
+                           .RefineBatchPairs(512)
+                           .Run(&sink);
           ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
                                   << ": " << stats.status().ToString();
           EXPECT_EQ(Sorted(sink.pairs()), expected_filter)
               << ToString(algo) << " filter, " << threads << " threads";
         }
         {
-          options.refine = true;
-          SpatialJoiner joiner(&td.disk, options);
           CollectingSink sink;
-          auto stats = joiner.Join(ia, ib, &sink, algo);
+          auto stats = JoinQuery(joiner)
+                           .Input(ia)
+                           .Input(ib)
+                           .Algorithm(algo)
+                           .Threads(threads)
+                           .RefineBatchPairs(512)
+                           .Refine(true)
+                           .Run(&sink);
           ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
                                   << ": " << stats.status().ToString();
           EXPECT_EQ(Sorted(sink.pairs()), expected_exact)
               << ToString(algo) << " refined, " << threads << " threads";
           EXPECT_EQ(stats->candidate_count, expected_filter.size())
               << ToString(algo) << " refined, " << threads << " threads";
+          EXPECT_FALSE(joiner.options().refine)
+              << "per-query override must not mutate the shared joiner";
         }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query option overrides: a JoinQuery with Threads/Refine overrides
+// must leave the shared joiner's options untouched and produce output
+// identical to a joiner *constructed* with those options.
+// ---------------------------------------------------------------------------
+
+TEST(JoinQueryOverrides, MatchDedicatedJoinerAndLeaveSharedOptionsAlone) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const RectF region(0, 0, 300, 300);
+  const auto a = UniformRects(900, region, 2.0f, 21);
+  const auto b = UniformRects(800, region, 2.5f, 22);
+  const auto ga = SegmentsForRects(a);
+  const auto gb = SegmentsForRects(b);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+  auto pager_a = td.NewPager("geom.a");
+  auto pager_b = td.NewPager("geom.b");
+  auto store_a = FeatureStore::Build(pager_a.get(), ga, "a");
+  auto store_b = FeatureStore::Build(pager_b.get(), gb, "b");
+  ASSERT_TRUE(store_a.ok() && store_b.ok());
+
+  // The shared joiner: serial, filter-only defaults.
+  const JoinOptions defaults;
+  SpatialJoiner shared(&td.disk, defaults);
+
+  CollectingSink overridden;
+  auto query_stats = JoinQuery(shared)
+                         .Input(JoinInput::FromStream(da))
+                         .Input(JoinInput::FromStream(db))
+                         .WithFeatures(0, &*store_a)
+                         .WithFeatures(1, &*store_b)
+                         .Algorithm(JoinAlgorithm::kSSSJ)
+                         .Threads(8)
+                         .Refine(true)
+                         .RefineBatchPairs(128)
+                         .Run(&overridden);
+  ASSERT_TRUE(query_stats.ok()) << query_stats.status().ToString();
+
+  // The shared joiner's options are untouched by the query's overrides.
+  EXPECT_EQ(shared.options().num_threads, defaults.num_threads);
+  EXPECT_EQ(shared.options().refine, defaults.refine);
+  EXPECT_EQ(shared.options().refine_batch_pairs, defaults.refine_batch_pairs);
+
+  // A joiner constructed with the overridden options produces identical
+  // output and the identical candidate/exact split.
+  JoinOptions constructed = defaults;
+  constructed.num_threads = 8;
+  constructed.refine = true;
+  constructed.refine_batch_pairs = 128;
+  SpatialJoiner dedicated(&td.disk, constructed);
+  CollectingSink baseline;
+  JoinInput ia = JoinInput::FromStream(da);
+  JoinInput ib = JoinInput::FromStream(db);
+  ia.WithFeatures(&*store_a);
+  ib.WithFeatures(&*store_b);
+  auto dedicated_stats =
+      dedicated.Join(ia, ib, &baseline, JoinAlgorithm::kSSSJ);
+  ASSERT_TRUE(dedicated_stats.ok());
+  EXPECT_EQ(overridden.pairs(), baseline.pairs());
+  EXPECT_EQ(query_stats->output_count, dedicated_stats->output_count);
+  EXPECT_EQ(query_stats->candidate_count, dedicated_stats->candidate_count);
+}
+
+// ---------------------------------------------------------------------------
+// The differential harness for the non-intersection predicates: brute
+// force ε-distance and containment oracles cross-checked against
+// JoinQuery over SSSJ/PBSM/ST/PQ at 1/2/8 threads.
+// ---------------------------------------------------------------------------
+
+TEST(RandomizedDifferential, DistancePredicateAgreesWithBruteForce) {
+  uint64_t base_seed = 0xD157A6CEu;
+  int workloads = 3;
+  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
+    base_seed = std::strtoull(replay, nullptr, 0);
+    workloads = 1;
+  }
+  // A sparse seed can legitimately produce an empty join (clusters far
+  // apart); the pipeline must then return empty too, but across the suite
+  // at least one workload has to exercise real matches.
+  uint64_t total_filter_pairs = 0;
+  for (int trial = 0; trial < workloads; ++trial) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(trial);
+    const GeneratedWorkload w = GenerateWorkload(seed);
+    Random eps_rng(seed ^ 0xE95u);
+    const double eps = eps_rng.UniformDouble(0.5, 6.0);
+    SCOPED_TRACE("workload [" + w.description + "] eps=" +
+                 std::to_string(eps) +
+                 " — replay with SJ_DIFF_SEED=" + std::to_string(seed));
+
+    const auto ga = SegmentsForRects(w.a);
+    const auto gb = SegmentsForRects(w.b);
+    // The filter-step oracle replicates the compile step's transform
+    // exactly: side 1 is ε-expanded (same float arithmetic), then plain
+    // MBR intersection. The refined oracle additionally applies the
+    // exact Euclidean segment distance.
+    std::vector<IdPair> expected_filter, expected_exact;
+    for (size_t i = 0; i < w.a.size(); ++i) {
+      for (size_t j = 0; j < w.b.size(); ++j) {
+        if (!w.a[i].Intersects(ExpandRectForDistance(w.b[j], eps))) continue;
+        expected_filter.push_back({w.a[i].id, w.b[j].id});
+        if (SegmentsWithinDistance(ga[i], gb[j], eps)) {
+          expected_exact.push_back({w.a[i].id, w.b[j].id});
+        }
+      }
+    }
+    std::sort(expected_filter.begin(), expected_filter.end());
+    std::sort(expected_exact.begin(), expected_exact.end());
+    total_filter_pairs += expected_filter.size();
+
+    TestDisk td;
+    std::vector<std::unique_ptr<Pager>> keep;
+    const DatasetRef da = MakeDataset(&td, w.a, "a", &keep);
+    const DatasetRef db = MakeDataset(&td, w.b, "b", &keep);
+    auto geom_a_pager = td.NewPager("geom.a");
+    auto geom_b_pager = td.NewPager("geom.b");
+    auto store_a = FeatureStore::Build(geom_a_pager.get(), ga, "a");
+    auto store_b = FeatureStore::Build(geom_b_pager.get(), gb, "b");
+    ASSERT_TRUE(store_a.ok() && store_b.ok());
+
+    auto tree_a_pager = td.NewPager("tree.a");
+    auto tree_b_pager = td.NewPager("tree.b");
+    auto scratch = td.NewPager("scratch");
+    RTreeParams params;
+    params.max_entries = w.fanout;
+    auto ta = RTree::BulkLoadHilbert(tree_a_pager.get(), da.range,
+                                     scratch.get(), params, 1 << 22);
+    auto tb = RTree::BulkLoadHilbert(tree_b_pager.get(), db.range,
+                                     scratch.get(), params, 1 << 22);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+
+    SpatialJoiner joiner(&td.disk, JoinOptions());
+    for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
+                               JoinAlgorithm::kST, JoinAlgorithm::kPQ}) {
+      const bool indexed =
+          algo == JoinAlgorithm::kST || algo == JoinAlgorithm::kPQ;
+      JoinInput ia = indexed ? JoinInput::FromRTree(&*ta)
+                             : JoinInput::FromStream(da);
+      JoinInput ib = indexed ? JoinInput::FromRTree(&*tb)
+                             : JoinInput::FromStream(db);
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        {
+          CollectingSink sink;
+          auto stats = JoinQuery(joiner)
+                           .Input(ia)
+                           .Input(ib)
+                           .Predicate(Predicate::kDistanceWithin, eps)
+                           .Algorithm(algo)
+                           .Threads(threads)
+                           .Run(&sink);
+          ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
+                                  << ": " << stats.status().ToString();
+          EXPECT_EQ(Sorted(sink.pairs()), expected_filter)
+              << ToString(algo) << " distance filter, " << threads
+              << " threads";
+        }
+        {
+          CollectingSink sink;
+          auto stats = JoinQuery(joiner)
+                           .Input(ia)
+                           .Input(ib)
+                           .WithFeatures(0, &*store_a)
+                           .WithFeatures(1, &*store_b)
+                           .Predicate(Predicate::kDistanceWithin, eps)
+                           .Algorithm(algo)
+                           .Threads(threads)
+                           .Refine(true)
+                           .RefineBatchPairs(512)
+                           .Run(&sink);
+          ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
+                                  << ": " << stats.status().ToString();
+          EXPECT_EQ(Sorted(sink.pairs()), expected_exact)
+              << ToString(algo) << " distance refined, " << threads
+              << " threads";
+          EXPECT_EQ(stats->candidate_count, expected_filter.size())
+              << ToString(algo) << " distance refined, " << threads
+              << " threads";
+        }
+      }
+    }
+  }
+  EXPECT_GT(total_filter_pairs, 0u)
+      << "every distance workload was empty; the suite exercised nothing";
+}
+
+/// Integer-coordinate segments so exact containment really occurs: double
+/// arithmetic on small integers is exact, so sub-segments at integer lattice
+/// points of their parent are contained with no rounding caveats.
+struct ContainmentWorkload {
+  std::vector<RectF> a, b;
+  std::vector<Segment> ga, gb;
+};
+
+ContainmentWorkload GenerateContainmentWorkload(uint64_t seed) {
+  Random rng(seed);
+  ContainmentWorkload w;
+  const uint64_t na = 300 + rng.Uniform(300);
+  const uint64_t nb = 300 + rng.Uniform(300);
+  for (uint64_t i = 0; i < na; ++i) {
+    const int x = static_cast<int>(rng.Uniform(400));
+    const int y = static_cast<int>(rng.Uniform(400));
+    const int g = 1 + static_cast<int>(rng.Uniform(8));
+    const int ex = static_cast<int>(rng.Uniform(11)) - 5;
+    const int ey = static_cast<int>(rng.Uniform(11)) - 5;
+    const Segment s(static_cast<float>(x), static_cast<float>(y),
+                    static_cast<float>(x + g * ex),
+                    static_cast<float>(y + g * ey));
+    w.ga.push_back(s);
+    w.a.push_back(s.Mbr(static_cast<ObjectId>(i)));
+  }
+  for (uint64_t j = 0; j < nb; ++j) {
+    Segment s;
+    if (j % 3 == 0) {
+      // A sub-segment of a random parent, between two of its integer
+      // lattice points: genuinely contained.
+      const Segment& parent = w.ga[rng.Uniform(na)];
+      const int g = 8;
+      const double ex = (parent.x2 - parent.x1) / g;
+      const double ey = (parent.y2 - parent.y1) / g;
+      int k1 = static_cast<int>(rng.Uniform(g + 1));
+      int k2 = static_cast<int>(rng.Uniform(g + 1));
+      if (k1 > k2) std::swap(k1, k2);
+      s = Segment(static_cast<float>(parent.x1 + k1 * ex),
+                  static_cast<float>(parent.y1 + k1 * ey),
+                  static_cast<float>(parent.x1 + k2 * ex),
+                  static_cast<float>(parent.y1 + k2 * ey));
+    } else {
+      const int x = static_cast<int>(rng.Uniform(400));
+      const int y = static_cast<int>(rng.Uniform(400));
+      s = Segment(static_cast<float>(x), static_cast<float>(y),
+                  static_cast<float>(x + static_cast<int>(rng.Uniform(21)) -
+                                     10),
+                  static_cast<float>(y + static_cast<int>(rng.Uniform(21)) -
+                                     10));
+    }
+    w.gb.push_back(s);
+    w.b.push_back(s.Mbr(static_cast<ObjectId>(j)));
+  }
+  return w;
+}
+
+TEST(RandomizedDifferential, ContainmentPredicateAgreesWithBruteForce) {
+  uint64_t base_seed = 0xC047A15u;
+  int workloads = 3;
+  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
+    base_seed = std::strtoull(replay, nullptr, 0);
+    workloads = 1;
+  }
+  for (int trial = 0; trial < workloads; ++trial) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(trial);
+    const ContainmentWorkload w = GenerateContainmentWorkload(seed);
+    SCOPED_TRACE("containment workload — replay with SJ_DIFF_SEED=" +
+                 std::to_string(seed));
+
+    // Oracle: the refined result is every MBR-overlapping pair whose
+    // exact geometry satisfies "a contains b".
+    std::vector<IdPair> expected_filter, expected_exact;
+    for (size_t i = 0; i < w.a.size(); ++i) {
+      for (size_t j = 0; j < w.b.size(); ++j) {
+        if (!w.a[i].Intersects(w.b[j])) continue;
+        expected_filter.push_back({w.a[i].id, w.b[j].id});
+        if (SegmentContainsSegment(w.ga[i], w.gb[j])) {
+          expected_exact.push_back({w.a[i].id, w.b[j].id});
+        }
+      }
+    }
+    std::sort(expected_exact.begin(), expected_exact.end());
+    ASSERT_FALSE(expected_exact.empty())
+        << "containment workload generated no contained pairs";
+    ASSERT_LT(expected_exact.size(), expected_filter.size())
+        << "the MBR filter should overapproximate containment";
+
+    TestDisk td;
+    std::vector<std::unique_ptr<Pager>> keep;
+    const DatasetRef da = MakeDataset(&td, w.a, "a", &keep);
+    const DatasetRef db = MakeDataset(&td, w.b, "b", &keep);
+    auto geom_a_pager = td.NewPager("geom.a");
+    auto geom_b_pager = td.NewPager("geom.b");
+    auto store_a = FeatureStore::Build(geom_a_pager.get(), w.ga, "a");
+    auto store_b = FeatureStore::Build(geom_b_pager.get(), w.gb, "b");
+    ASSERT_TRUE(store_a.ok() && store_b.ok());
+    auto tree_a_pager = td.NewPager("tree.a");
+    auto tree_b_pager = td.NewPager("tree.b");
+    auto scratch = td.NewPager("scratch");
+    auto ta = RTree::BulkLoadHilbert(tree_a_pager.get(), da.range,
+                                     scratch.get(), RTreeParams(), 1 << 22);
+    auto tb = RTree::BulkLoadHilbert(tree_b_pager.get(), db.range,
+                                     scratch.get(), RTreeParams(), 1 << 22);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+
+    SpatialJoiner joiner(&td.disk, JoinOptions());
+    for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
+                               JoinAlgorithm::kST, JoinAlgorithm::kPQ}) {
+      const bool indexed =
+          algo == JoinAlgorithm::kST || algo == JoinAlgorithm::kPQ;
+      JoinInput ia = indexed ? JoinInput::FromRTree(&*ta)
+                             : JoinInput::FromStream(da);
+      JoinInput ib = indexed ? JoinInput::FromRTree(&*tb)
+                             : JoinInput::FromStream(db);
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        CollectingSink sink;
+        auto stats = JoinQuery(joiner)
+                         .Input(ia)
+                         .Input(ib)
+                         .WithFeatures(0, &*store_a)
+                         .WithFeatures(1, &*store_b)
+                         .Predicate(Predicate::kContains)
+                         .Algorithm(algo)
+                         .Threads(threads)
+                         .Refine(true)
+                         .RefineBatchPairs(256)
+                         .Run(&sink);
+        ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads << ": "
+                                << stats.status().ToString();
+        EXPECT_EQ(Sorted(sink.pairs()), expected_exact)
+            << ToString(algo) << " containment, " << threads << " threads";
+        EXPECT_EQ(stats->candidate_count, expected_filter.size())
+            << ToString(algo) << " containment, " << threads << " threads";
       }
     }
   }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
 #include "datagen/synthetic.h"
 #include "refine/feature_store.h"
@@ -167,6 +168,78 @@ TEST(Planner, DisjointExtentsTouchNothing) {
   const PlanDecision d = joiner.Plan(a, b);
   EXPECT_EQ(d.touched_fraction, 0.0);
   EXPECT_EQ(d.algorithm, JoinAlgorithm::kPQ);
+}
+
+// ---------------------------------------------------------------------------
+// The planner through the query API: Explain compiles the query and
+// returns the same decision Plan computes, plus the forced-algorithm and
+// per-query-refine behaviors only the query layer can express.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerThroughJoinQuery, ExplainMatchesPlan) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 10, 10));
+  const PlanDecision direct = joiner.Plan(a, b);
+
+  auto explained = JoinQuery(joiner).Input(a).Input(b).Explain();
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  EXPECT_EQ(explained->algorithm, direct.algorithm);
+  EXPECT_DOUBLE_EQ(explained->touched_fraction, direct.touched_fraction);
+  EXPECT_DOUBLE_EQ(explained->index_cost_seconds, direct.index_cost_seconds);
+  EXPECT_DOUBLE_EQ(explained->stream_cost_seconds,
+                   direct.stream_cost_seconds);
+  EXPECT_EQ(explained->rationale, direct.rationale);
+  EXPECT_FALSE(explained->Describe().empty());
+}
+
+TEST(PlannerThroughJoinQuery, ForcedAlgorithmShowsInDecision) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 100, 100));
+
+  auto explained = JoinQuery(joiner)
+                       .Input(a)
+                       .Input(b)
+                       .Algorithm(JoinAlgorithm::kPBSM)
+                       .Explain();
+  ASSERT_TRUE(explained.ok());
+  EXPECT_EQ(explained->algorithm, JoinAlgorithm::kPBSM);
+  EXPECT_NE(explained->rationale.find("forced"), std::string::npos);
+}
+
+TEST(PlannerThroughJoinQuery, PerQueryRefineAddsTheRefineTerm) {
+  TreeFixture f;
+  auto geom_a_pager = f.td.NewPager("geom.a");
+  auto geom_b_pager = f.td.NewPager("geom.b");
+  const auto b_data = UniformRects(2000, RectF(0, 0, 10, 10), 0.5f, 83);
+  auto store_a = FeatureStore::Build(geom_a_pager.get(),
+                                     SegmentsForRects(f.data), "a");
+  auto store_b = FeatureStore::Build(geom_b_pager.get(),
+                                     SegmentsForRects(b_data), "b");
+  ASSERT_TRUE(store_a.ok() && store_b.ok());
+
+  JoinInput a = JoinInput::FromRTree(&*f.tree);
+  JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 10, 10));
+
+  // The joiner's defaults do not refine; the per-query override prices
+  // the refinement term anyway — without touching the shared joiner.
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  auto base = JoinQuery(joiner).Input(a).Input(b).Explain();
+  auto refined = JoinQuery(joiner)
+                     .Input(a)
+                     .Input(b)
+                     .WithFeatures(0, &*store_a)
+                     .WithFeatures(1, &*store_b)
+                     .Refine(true)
+                     .Explain();
+  ASSERT_TRUE(base.ok() && refined.ok());
+  EXPECT_EQ(base->refine_cost_seconds, 0.0);
+  EXPECT_GT(refined->refine_cost_seconds, 0.0);
+  EXPECT_EQ(refined->algorithm, base->algorithm);
+  EXPECT_FALSE(joiner.options().refine);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include "core/spatial_join.h"
 #include "datagen/synthetic.h"
+#include "join/pbsm.h"
+#include "join/pq_join.h"
+#include "join/sssj.h"
+#include "join/st_join.h"
 #include "test_util.h"
 
 namespace sj {
