@@ -25,6 +25,9 @@ void Run(const BenchConfig& config) {
     for (uint32_t tiles : {8u, 32u, 128u, 256u}) {
       Workload w = MakeWorkload(data, machine, /*build_trees=*/false);
       JoinOptions options;
+      // This ablation is *about* the fixed grid; pin the escape hatch so
+      // the adaptive planner (the modern default) stays out of the way.
+      options.adaptive_partitioning = false;
       options.pbsm_tiles_per_axis = tiles;
       // Scale the memory budget down with the ladder so partitioning is
       // actually exercised at bench scales.

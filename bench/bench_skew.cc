@@ -1,0 +1,144 @@
+// Skew sweep for the adaptive PBSM partitioner: Zipf-clustered hotspot
+// workloads of increasing skew intensity, joined with PBSM under (a) the
+// adaptive histogram-driven plan, (b) the paper's fixed 128x128 grid and
+// (c) Patel & DeWitt's original fixed 32x32 grid. Fixed grids answer
+// skew with partition overflows (external-sort fallback); the adaptive
+// planner splits the hot tiles and bin-packs them, so its modeled I/O
+// should stay flat as skew grows. A cross-check asserts all three
+// configurations produce the identical pair count.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/join_query.h"
+#include "datagen/synthetic.h"
+#include "io/stream.h"
+#include "util/logging.h"
+
+namespace sj {
+namespace bench {
+namespace {
+
+struct SkewConfig {
+  uint64_t n = 1000000;  // Records per side.
+  static SkewConfig FromArgs(int argc, char** argv) {
+    SkewConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--n=", 4) == 0) {
+        config.n = std::strtoull(argv[i] + 4, nullptr, 10);
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--n=RECORDS_PER_SIDE]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return config;
+  }
+};
+
+DatasetRef WriteRelation(Pager* pager, const std::vector<RectF>& rects) {
+  StreamWriter<RectF> writer(pager);
+  const PageId first = writer.first_page();
+  RectF extent = RectF::Empty();
+  for (const RectF& r : rects) {
+    writer.Append(r);
+    extent.ExtendTo(r);
+  }
+  auto n = writer.Finish();
+  SJ_CHECK(n.ok());
+  DatasetRef ref;
+  ref.range = StreamRange{pager, first, n.value()};
+  ref.extent = extent;
+  return ref;
+}
+
+struct Mode {
+  const char* name;
+  bool adaptive;
+  uint32_t fixed_tiles;  // Ignored when adaptive.
+};
+
+constexpr Mode kModes[] = {{"fixed32", false, 32},
+                           {"fixed128", false, 128},
+                           {"adaptive", true, 0}};
+
+void Run(const SkewConfig& config) {
+  const MachineModel machine = MachineModel::Machine3();
+  const RectF region(0, 0, 1000, 1000);
+  std::printf(
+      "== PBSM skew sweep: adaptive vs fixed grids (n=%llu/side, %s) ==\n\n",
+      static_cast<unsigned long long>(config.n), machine.name.c_str());
+  std::printf("%-8s %-10s %10s %11s %10s %12s %10s %10s\n", "theta", "mode",
+              "grid", "partitions", "overflow", "maxPart", "io(s)",
+              "vs fix32");
+  PrintHeaderRule(88);
+
+  for (double theta : {0.0, 0.8, 1.2, 1.6}) {
+    const auto a = ZipfClusteredRects(config.n, region, /*hotspots=*/8,
+                                      theta, /*hotspot_sigma=*/3.0f,
+                                      /*mean_size=*/0.02f, /*seed=*/1000);
+    const auto b = ZipfClusteredRects(config.n, region, /*hotspots=*/8,
+                                      theta, /*hotspot_sigma=*/3.0f,
+                                      /*mean_size=*/0.02f, /*seed=*/2000);
+    // A memory budget around 1/10 of the data, so p lands near the
+    // paper's partition counts and the hottest Zipf tile exceeds the
+    // budget severalfold — the regime where fixed grids overflow into
+    // multi-run external sorts.
+    JoinOptions options;
+    options.memory_bytes = std::max<size_t>(
+        4u << 20, (a.size() + b.size()) * sizeof(RectF) / 10);
+
+    std::vector<JoinStats> results;
+    for (const Mode& mode : kModes) {
+      DiskModel disk(machine);
+      auto pager_a = MakeMemoryPager(&disk, "skew.a");
+      auto pager_b = MakeMemoryPager(&disk, "skew.b");
+      const DatasetRef da = WriteRelation(pager_a.get(), a);
+      const DatasetRef db = WriteRelation(pager_b.get(), b);
+      disk.ResetStats();
+
+      SpatialJoiner joiner(&disk, options);
+      CountingSink sink;
+      auto stats =
+          JoinQuery(joiner)
+              .Input(JoinInput::FromStream(da))
+              .Input(JoinInput::FromStream(db))
+              .Algorithm(JoinAlgorithm::kPBSM)
+              .AdaptivePartitioning(mode.adaptive)
+              .PbsmTilesPerAxis(mode.adaptive ? 128 : mode.fixed_tiles)
+              .Run(&sink);
+      SJ_CHECK(stats.ok()) << stats.status().ToString();
+      SJ_CHECK(results.empty() ||
+               results.front().output_count == stats->output_count)
+          << "partitioning changed the result set";
+      results.push_back(*stats);
+    }
+    const double fixed32_io = results.front().ObservedIoSeconds();
+    for (size_t m = 0; m < results.size(); ++m) {
+      const JoinStats& stats = results[m];
+      char grid[32];
+      std::snprintf(grid, sizeof(grid), "%ux%u", stats.pbsm_tiles_x,
+                    stats.pbsm_tiles_y);
+      std::printf("%-8.2f %-10s %10s %11u %10u %12s %10.2f %9.0f%%\n", theta,
+                  kModes[m].name, grid, stats.partitions_total,
+                  stats.partitions_overflowed,
+                  HumanBytes(stats.max_partition_bytes).c_str(),
+                  stats.ObservedIoSeconds(),
+                  100.0 * stats.ObservedIoSeconds() / fixed32_io);
+    }
+  }
+  std::printf(
+      "\nExpected shape: fixed grids overflow as theta grows (hot tiles "
+      "exceed the memory\nbudget -> external-sort fallback), adaptive "
+      "splits the hot tiles and stays flat.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sj
+
+int main(int argc, char** argv) {
+  sj::bench::Run(sj::bench::SkewConfig::FromArgs(argc, argv));
+  return 0;
+}

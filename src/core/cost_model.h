@@ -40,6 +40,28 @@ class CostModel {
     return static_cast<double>(pages) * StreamingPassFactor() * seq;
   }
 
+  /// Modeled seconds for one sequential scan over `pages` pages — the
+  /// histogram-build pass adaptive PBSM partitioning adds per side that
+  /// arrives without an attached GridHistogram.
+  double HistogramPassSeconds(uint64_t pages) const {
+    const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
+    return static_cast<double>(pages) * seq;
+  }
+
+  /// Modeled seconds for PBSM over `pages` total input pages with an
+  /// average replication factor of `replication` (copies of each page
+  /// landing in partition files): one read pass to distribute, the
+  /// replicated write, and the replicated read of the partition files —
+  /// all streamed. Overflowed partitions add external-sort passes on
+  /// top; the planner treats overflow as the exception the adaptive
+  /// partitioner makes it.
+  double PBSMSeconds(uint64_t pages, double replication) const {
+    const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
+    const double passes =
+        1.0 + std::max(1.0, replication) * (1.0 + machine_.write_factor);
+    return static_cast<double>(pages) * passes * seq;
+  }
+
   /// Modeled seconds for a PQ traversal touching `index_pages` pages.
   double PQSeconds(uint64_t index_pages) const {
     const double rand =

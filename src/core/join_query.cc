@@ -164,9 +164,13 @@ Result<CompiledPlan> JoinQuery::Compile(bool multiway, bool plan_only) {
   // which describe the unexpanded data). The transform's own passes are
   // measured and folded into the query's stats by Run.
   if (!multiway) {
+    // Exact PBSM grid reporting only for Explain (plan_only): a PBSM
+    // execution re-derives its grid from the same inputs anyway, and
+    // the other executors never read it.
     plan.decision =
         joiner_->Plan(plan.inputs[0], plan.inputs[1], plan.prune_histogram(0),
-                      plan.prune_histogram(1), plan.options);
+                      plan.prune_histogram(1), plan.options,
+                      /*exact_pbsm_preplan=*/plan_only);
     if (algorithm_ != JoinAlgorithm::kAuto) {
       plan.decision.algorithm = algorithm_;
       plan.decision.rationale =

@@ -1,9 +1,11 @@
 #include "core/spatial_join.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "core/join_query.h"
+#include "join/partition_plan.h"
 
 namespace sj {
 
@@ -17,6 +19,14 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
                                  const GridHistogram* hist_a,
                                  const GridHistogram* hist_b,
                                  const JoinOptions& options) const {
+  return Plan(a, b, hist_a, hist_b, options, /*exact_pbsm_preplan=*/true);
+}
+
+PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
+                                 const GridHistogram* hist_a,
+                                 const GridHistogram* hist_b,
+                                 const JoinOptions& options,
+                                 bool exact_pbsm_preplan) const {
   PlanDecision decision;
   const uint64_t total_pages = a.pages() + b.pages();
 
@@ -49,6 +59,73 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
   }
   decision.stream_cost_seconds =
       cost_model_.SSSJSeconds(total_pages) + decision.refine_cost_seconds;
+
+  // PBSM partitioning pre-plan, so Explain() reports the grid execution
+  // would use. The partition-count formula is shared with PBSMJoin; when
+  // the caller attached histograms the adaptive planner actually runs
+  // (pure CPU) and the reported grid is exact, otherwise the base grid
+  // and formula stand in. Replication and the histogram-build pass are
+  // priced into pbsm_cost_seconds; the pass is free when both
+  // histograms are attached.
+  {
+    const uint64_t total_bytes = (a.count() + b.count()) * sizeof(RectF);
+    decision.pbsm_adaptive = options.adaptive_partitioning;
+    // The adaptive planner packs to its own (higher) fill target; the
+    // fixed path keeps the paper's 0.8 slack.
+    decision.pbsm_partitions =
+        options.adaptive_partitioning
+            ? PbsmPartitionCount(total_bytes, options.memory_bytes,
+                                 PartitionPlannerConfig().partition_fill)
+            : PbsmPartitionCount(total_bytes, options.memory_bytes);
+    if (options.adaptive_partitioning) {
+      decision.pbsm_tiles_per_axis =
+          AdaptiveBaseTilesPerAxis(decision.pbsm_partitions);
+      if (exact_pbsm_preplan && hist_a != nullptr && hist_b != nullptr) {
+        RectF extent = a.extent();
+        extent.ExtendTo(b.extent());
+        PartitionPlannerConfig config;
+        config.memory_bytes = options.memory_bytes;
+        config.max_resolution = std::max(config.max_resolution,
+                                         options.pbsm_histogram_resolution);
+        const auto plan =
+            PartitionPlanner::Plan(extent, *hist_a, *hist_b, config);
+        decision.pbsm_tiles_per_axis = plan->tiles_x();
+        decision.pbsm_partitions = plan->partitions();
+        decision.pbsm_leaf_tiles = plan->leaf_tiles();
+      }
+      if (hist_a == nullptr || hist_b == nullptr) {
+        // The executor's on-the-fly build samples one block in
+        // kPbsmHistogramSampleOneInBlocks; price the pass it runs.
+        decision.histogram_build_seconds = cost_model_.HistogramPassSeconds(
+            (total_pages + kPbsmHistogramSampleOneInBlocks - 1) /
+            kPbsmHistogramSampleOneInBlocks);
+      }
+    } else {
+      decision.pbsm_tiles_per_axis = options.pbsm_tiles_per_axis;
+    }
+    // Replication at the *tile* grid's resolution: a histogram measures
+    // cells-per-object at its own (usually finer) cell width, so the
+    // per-axis object size in cells is rescaled from histogram cells to
+    // tiles before squaring (isotropy approximation). Without histograms
+    // the estimate stays at 1 (small objects barely replicate).
+    double replication = 1.0;
+    if (hist_a != nullptr && hist_b != nullptr) {
+      auto at_tiles = [&](const GridHistogram& h) {
+        const double size_in_cells =
+            std::sqrt(std::max(1.0, h.AverageCellsPerObject())) - 1.0;
+        const double per_axis =
+            1.0 + size_in_cells * static_cast<double>(
+                                      decision.pbsm_tiles_per_axis) /
+                      static_cast<double>(std::max(1u, h.nx()));
+        return per_axis * per_axis;
+      };
+      replication = 0.5 * (at_tiles(*hist_a) + at_tiles(*hist_b));
+    }
+    decision.pbsm_cost_seconds = cost_model_.PBSMSeconds(total_pages,
+                                                         replication) +
+                                 decision.histogram_build_seconds +
+                                 decision.refine_cost_seconds;
+  }
 
   if (!a.indexed() && !b.indexed()) {
     decision.algorithm = JoinAlgorithm::kSSSJ;

@@ -47,6 +47,16 @@ class SpatialJoiner {
                     const GridHistogram* hist_a, const GridHistogram* hist_b,
                     const JoinOptions& options) const;
 
+  /// Plan with control over the PBSM pre-plan fidelity:
+  /// `exact_pbsm_preplan` = true (the default elsewhere) runs the real
+  /// PartitionPlanner when adaptive partitioning has histograms, so
+  /// Explain reports the exact grid; false keeps the cheap formula
+  /// estimates — JoinQuery::Run uses this, because a PBSM execution
+  /// plans its own grid anyway and every other algorithm ignores it.
+  PlanDecision Plan(const JoinInput& a, const JoinInput& b,
+                    const GridHistogram* hist_a, const GridHistogram* hist_b,
+                    const JoinOptions& options, bool exact_pbsm_preplan) const;
+
   /// Legacy pairwise entry point — equivalent to
   ///
   ///   JoinQuery(*this).Input(a).Input(b)

@@ -1,6 +1,7 @@
 #include "datagen/synthetic.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sj {
 
@@ -25,6 +26,22 @@ std::vector<RectF> UniformRects(uint64_t n, const RectF& region,
   return out;
 }
 
+namespace {
+
+/// A rectangle of the given center/size clamped into `region` (the shape
+/// ClusteredRects uses; shared by the skewed generators).
+RectF ClampedRect(float cx, float cy, float w, float h, const RectF& region,
+                  ObjectId id) {
+  RectF r(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2, id);
+  r.xlo = std::clamp(r.xlo, region.xlo, region.xhi);
+  r.xhi = std::clamp(r.xhi, region.xlo, region.xhi);
+  r.ylo = std::clamp(r.ylo, region.ylo, region.yhi);
+  r.yhi = std::clamp(r.yhi, region.ylo, region.yhi);
+  return r;
+}
+
+}  // namespace
+
 std::vector<RectF> ClusteredRects(uint64_t n, const RectF& region,
                                   uint32_t clusters, float cluster_sigma,
                                   float mean_size, uint64_t seed,
@@ -47,13 +64,8 @@ std::vector<RectF> ClusteredRects(uint64_t n, const RectF& region,
         static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
     const float h =
         static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
-    RectF r(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2,
-            base_id + static_cast<ObjectId>(i));
-    r.xlo = std::clamp(r.xlo, region.xlo, region.xhi);
-    r.xhi = std::clamp(r.xhi, region.xlo, region.xhi);
-    r.ylo = std::clamp(r.ylo, region.ylo, region.yhi);
-    r.yhi = std::clamp(r.yhi, region.ylo, region.yhi);
-    out.push_back(r);
+    out.push_back(ClampedRect(cx, cy, w, h, region,
+                              base_id + static_cast<ObjectId>(i)));
   }
   return out;
 }
@@ -68,6 +80,109 @@ std::vector<RectF> DiagonalPoints(uint64_t n, const RectF& region,
     const float x = region.xlo + t * (region.xhi - region.xlo);
     const float y = region.ylo + t * (region.yhi - region.ylo);
     out.emplace_back(x, y, x, y, base_id + static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+std::vector<RectF> ZipfClusteredRects(uint64_t n, const RectF& region,
+                                      uint32_t hotspots, double theta,
+                                      float hotspot_sigma, float mean_size,
+                                      uint64_t seed, ObjectId base_id,
+                                      uint64_t center_seed) {
+  Random rng(seed);
+  hotspots = std::max(1u, hotspots);
+  Random center_rng(center_seed != 0 ? center_seed : seed);
+  Random* placement = center_seed != 0 ? &center_rng : &rng;
+  std::vector<std::pair<float, float>> centers;
+  centers.reserve(hotspots);
+  for (uint32_t c = 0; c < hotspots; ++c) {
+    // Named draws: argument evaluation order is unspecified, and the
+    // generators must be byte-identical across compilers.
+    const float cx =
+        static_cast<float>(placement->UniformDouble(region.xlo, region.xhi));
+    const float cy =
+        static_cast<float>(placement->UniformDouble(region.ylo, region.yhi));
+    centers.emplace_back(cx, cy);
+  }
+  // Zipf masses: cumulative weights of 1/(k+1)^theta, sampled by binary
+  // search so hotspot k draws proportionally to its rank weight.
+  std::vector<double> cumulative(hotspots);
+  double sum = 0.0;
+  for (uint32_t k = 0; k < hotspots; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cumulative[k] = sum;
+  }
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble(0.0, sum);
+    const uint32_t k = static_cast<uint32_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const auto& [ccx, ccy] = centers[std::min(k, hotspots - 1)];
+    const float cx = ccx + static_cast<float>(rng.Normal()) * hotspot_sigma;
+    const float cy = ccy + static_cast<float>(rng.Normal()) * hotspot_sigma;
+    const float w =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    const float h =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    out.push_back(ClampedRect(cx, cy, w, h, region,
+                              base_id + static_cast<ObjectId>(i)));
+  }
+  return out;
+}
+
+std::vector<RectF> DiagonalBandRects(uint64_t n, const RectF& region,
+                                     float spread, float mean_size,
+                                     uint64_t seed, ObjectId base_id) {
+  Random rng(seed);
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double t = rng.UniformDouble(0.0, 1.0);
+    const float cx = region.xlo +
+                     static_cast<float>(t) * (region.xhi - region.xlo) +
+                     static_cast<float>(rng.Normal()) * spread;
+    const float cy = region.ylo +
+                     static_cast<float>(t) * (region.yhi - region.ylo) +
+                     static_cast<float>(rng.Normal()) * spread;
+    const float w =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    const float h =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    out.push_back(ClampedRect(cx, cy, w, h, region,
+                              base_id + static_cast<ObjectId>(i)));
+  }
+  return out;
+}
+
+std::vector<RectF> UniformWithCityRects(uint64_t n, const RectF& region,
+                                        double city_fraction, float city_side,
+                                        float mean_size, uint64_t seed,
+                                        ObjectId base_id) {
+  Random rng(seed);
+  const float half = city_side / 2;
+  const float city_cx = static_cast<float>(rng.UniformDouble(
+      region.xlo + half, std::max<double>(region.xlo + half, region.xhi - half)));
+  const float city_cy = static_cast<float>(rng.UniformDouble(
+      region.ylo + half, std::max<double>(region.ylo + half, region.yhi - half)));
+  std::vector<RectF> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    float cx, cy;
+    if (rng.OneIn(city_fraction)) {
+      cx = city_cx + static_cast<float>(rng.UniformDouble(-half, half));
+      cy = city_cy + static_cast<float>(rng.UniformDouble(-half, half));
+    } else {
+      cx = static_cast<float>(rng.UniformDouble(region.xlo, region.xhi));
+      cy = static_cast<float>(rng.UniformDouble(region.ylo, region.yhi));
+    }
+    const float w =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    const float h =
+        static_cast<float>(rng.UniformDouble(0.0, 2.0 * mean_size));
+    out.push_back(ClampedRect(cx, cy, w, h, region,
+                              base_id + static_cast<ObjectId>(i)));
   }
   return out;
 }

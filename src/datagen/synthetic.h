@@ -29,6 +29,35 @@ std::vector<RectF> ClusteredRects(uint64_t n, const RectF& region,
 std::vector<RectF> DiagonalPoints(uint64_t n, const RectF& region,
                                   ObjectId base_id = 0);
 
+/// Heavy spatial skew: `hotspots` Gaussian hotspots whose record masses
+/// follow a Zipf(theta) law, so a handful of hotspots hold most of the
+/// data (theta = 0 degrades to ClusteredRects; theta ~ 1.2 puts roughly
+/// half the records in the top hotspot). The worst case for fixed-grid
+/// PBSM partitioning and the target workload of the adaptive planner.
+/// `center_seed` != 0 draws the hotspot placement from its own stream,
+/// so two relations can share a geography (roads and hydro of the same
+/// cities) while sampling records independently.
+std::vector<RectF> ZipfClusteredRects(uint64_t n, const RectF& region,
+                                      uint32_t hotspots, double theta,
+                                      float hotspot_sigma, float mean_size,
+                                      uint64_t seed, ObjectId base_id = 0,
+                                      uint64_t center_seed = 0);
+
+/// Diagonal correlation: centers spread uniformly along the main diagonal
+/// of `region` with Gaussian jitter `spread` perpendicular to it — a thin
+/// dense band that concentrates mass in the diagonal tiles of any grid.
+std::vector<RectF> DiagonalBandRects(uint64_t n, const RectF& region,
+                                     float spread, float mean_size,
+                                     uint64_t seed, ObjectId base_id = 0);
+
+/// Uniform background plus one dense "city": `city_fraction` of the
+/// records packed into a square of side `city_side` at a seeded location
+/// (the mixed uniform/urban shape of real cartographic data).
+std::vector<RectF> UniformWithCityRects(uint64_t n, const RectF& region,
+                                        double city_fraction, float city_side,
+                                        float mean_size, uint64_t seed,
+                                        ObjectId base_id = 0);
+
 /// Exact geometry for a filter-and-refine pipeline: the line segment
 /// spanning `r`'s main or anti diagonal, the orientation chosen by a
 /// deterministic hash of r.id. The segment's bounding box is exactly `r`

@@ -1,6 +1,7 @@
 #include "histogram/grid_histogram.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "io/stream.h"
 #include "util/logging.h"
@@ -34,6 +35,51 @@ Result<GridHistogram> GridHistogram::Build(const StreamRange& input,
     hist.Add(*r);
   }
   return hist;
+}
+
+Result<GridHistogram> GridHistogram::BuildSampled(const StreamRange& input,
+                                                  const RectF& extent,
+                                                  uint32_t nx, uint32_t ny,
+                                                  uint32_t sample_one_in) {
+  sample_one_in = std::max(1u, sample_one_in);
+  if (sample_one_in == 1) return Build(input, extent, nx, ny);
+  GridHistogram hist(extent, nx, ny);
+  constexpr uint32_t kRecordsPerPage = StreamReader<RectF>::kRecordsPerPage;
+  const uint64_t per_block = uint64_t{kRecordsPerPage} * kStreamBlockPages;
+  std::vector<uint8_t> buffer(kStreamBlockPages * kPageSize);
+  for (uint64_t block = 0; block * per_block < input.count;
+       block += sample_one_in) {
+    const uint64_t first_record = block * per_block;
+    const uint64_t take = std::min(input.count - first_record, per_block);
+    const uint32_t npages = static_cast<uint32_t>(
+        (take + kRecordsPerPage - 1) / kRecordsPerPage);
+    SJ_RETURN_IF_ERROR(input.pager->ReadRun(
+        input.first_page + block * kStreamBlockPages, npages, buffer.data()));
+    for (uint64_t i = 0; i < take; ++i) {
+      const uint64_t page = i / kRecordsPerPage;
+      const uint64_t slot = i % kRecordsPerPage;
+      RectF r;
+      std::memcpy(&r, buffer.data() + page * kPageSize + slot * sizeof(RectF),
+                  sizeof(RectF));
+      if (!r.Valid()) {
+        return Status::InvalidArgument(
+            "malformed rectangle in histogram input");
+      }
+      hist.Add(r);
+    }
+  }
+  hist.ScaleTo(input.count);
+  return hist;
+}
+
+void GridHistogram::ScaleTo(uint64_t target_total) {
+  if (total_ == 0 || total_ == target_total) return;
+  const double factor = static_cast<double>(target_total) /
+                        static_cast<double>(total_);
+  for (uint64_t& c : cells_) {
+    c = static_cast<uint64_t>(static_cast<double>(c) * factor + 0.5);
+  }
+  total_ = target_total;
 }
 
 void GridHistogram::CellRange(const RectF& r, uint32_t* x0, uint32_t* x1,
@@ -71,6 +117,40 @@ bool GridHistogram::MightIntersect(const RectF& r) const {
     }
   }
   return false;
+}
+
+double GridHistogram::EstimateCountIn(const RectF& r) const {
+  if (total_ == 0 || !r.Valid() || !r.Intersects(extent_)) return 0.0;
+  uint32_t x0, x1, y0, y1;
+  CellRange(r, &x0, &x1, &y0, &y1);
+  const double cell_area =
+      static_cast<double>(cell_w_) * static_cast<double>(cell_h_);
+  double estimate = 0.0;
+  for (uint32_t y = y0; y <= y1; ++y) {
+    const float cell_ylo = extent_.ylo + static_cast<float>(y) * cell_h_;
+    const double oy =
+        std::max(0.0, static_cast<double>(
+                          std::min(r.yhi, cell_ylo + cell_h_) -
+                          std::max(r.ylo, cell_ylo)));
+    for (uint32_t x = x0; x <= x1; ++x) {
+      const uint64_t count = cells_[static_cast<size_t>(y) * nx_ + x];
+      if (count == 0) continue;
+      const float cell_xlo = extent_.xlo + static_cast<float>(x) * cell_w_;
+      const double ox =
+          std::max(0.0, static_cast<double>(
+                            std::min(r.xhi, cell_xlo + cell_w_) -
+                            std::max(r.xlo, cell_xlo)));
+      estimate += static_cast<double>(count) * (ox * oy) / cell_area;
+    }
+  }
+  return estimate;
+}
+
+double GridHistogram::AverageCellsPerObject() const {
+  if (total_ == 0) return 1.0;
+  double mass = 0.0;
+  for (uint64_t c : cells_) mass += static_cast<double>(c);
+  return std::max(1.0, mass / static_cast<double>(total_));
 }
 
 double GridHistogram::EstimateJoinFraction(const GridHistogram& other) const {

@@ -29,6 +29,22 @@ class GridHistogram {
                                      const RectF& extent, uint32_t nx,
                                      uint32_t ny);
 
+  /// Builds a histogram from a block sample of the stream: every
+  /// `sample_one_in`-th 64-page block is read (block 0 always), and the
+  /// cell counts are scaled to the stream's exact record count — the
+  /// sampling construction of the Acharya–Poosala–Ramaswamy histograms
+  /// the paper's §6.3 points at, so the density pass costs a fraction of
+  /// a full scan. sample_one_in = 1 degrades to Build().
+  static Result<GridHistogram> BuildSampled(const StreamRange& input,
+                                            const RectF& extent, uint32_t nx,
+                                            uint32_t ny,
+                                            uint32_t sample_one_in);
+
+  /// Rescales the cell counts so total() becomes `target_total`
+  /// (rounding cells); no-op when total() is 0 or already the target.
+  /// Used by the sampled build above.
+  void ScaleTo(uint64_t target_total);
+
   /// Adds one rectangle (increments every cell it overlaps).
   void Add(const RectF& r);
 
@@ -48,6 +64,20 @@ class GridHistogram {
   /// fraction of this input (and, proportionally, of its index leaves)
   /// that participates in a join with `other`. Returns a value in [0, 1].
   double EstimateJoinFraction(const GridHistogram& other) const;
+
+  /// Estimates how many of the added rectangles overlap `r`: each cell's
+  /// count is weighted by the fraction of the cell `r` covers, so the
+  /// estimate works for query rectangles of any size relative to the
+  /// grid (the PartitionPlanner queries tile quadrants finer than one
+  /// cell). Cell counts tally *overlapping* rectangles, so summing the
+  /// estimate over a tiling of the extent counts replicated objects once
+  /// per tile they touch — exactly the mass a PBSM partition holds.
+  double EstimateCountIn(const RectF& r) const;
+
+  /// Average number of cells an added rectangle overlaps (>= 1 when
+  /// total() > 0) — the replication factor a tile grid at this
+  /// resolution would induce.
+  double AverageCellsPerObject() const;
 
   /// Number of rectangles added.
   uint64_t total() const { return total_; }

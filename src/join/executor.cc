@@ -45,6 +45,15 @@ std::string PlanDecision::Describe() const {
   if (refine_cost_seconds > 0.0) {
     os << ", incl. refine " << refine_cost_seconds << " s";
   }
+  if (pbsm_partitions > 0) {
+    os << "; PBSM " << (pbsm_adaptive ? "adaptive" : "fixed") << " "
+       << pbsm_tiles_per_axis << "x" << pbsm_tiles_per_axis << " grid";
+    if (pbsm_adaptive && pbsm_leaf_tiles > 0) {
+      os << " (" << pbsm_leaf_tiles << " leaves)";
+    }
+    os << ", " << pbsm_partitions << " partitions, " << pbsm_cost_seconds
+       << " s";
+  }
   os << ") — " << rationale;
   return os.str();
 }
@@ -186,7 +195,11 @@ class PBSMExecutor final : public StreamAlgorithmExecutor {
   Result<JoinStats> ExecuteStreams(CompiledPlan& plan, const DatasetRef& a,
                                    const DatasetRef& b,
                                    JoinSink* sink) const override {
-    return PBSMJoin(a, b, plan.disk, plan.options, sink);
+    // Attached histograms spare the adaptive planner its build pass.
+    // (The compile step clears them when an ε-expansion makes them
+    // stale, so PBSM then re-derives density from the expanded stream.)
+    return PBSMJoin(a, b, plan.disk, plan.options, sink,
+                    plan.prune_histogram(0), plan.prune_histogram(1));
   }
 };
 

@@ -99,6 +99,24 @@ struct PlanDecision {
   /// same for every filter algorithm, so it never flips the choice, but
   /// the totals stay honest end-to-end estimates.
   double refine_cost_seconds = 0.0;
+  /// The PBSM partitioning pre-plan under the query's options, so
+  /// Explain() reports the grid execution would use: adaptive or fixed,
+  /// the (base) tiles per axis, and the partition count. When adaptive
+  /// planning has histograms to work from, `pbsm_partitions` and
+  /// `pbsm_leaf_tiles` come from actually running the PartitionPlanner;
+  /// otherwise they are the memory-budget formula and the base grid.
+  bool pbsm_adaptive = false;
+  uint32_t pbsm_tiles_per_axis = 0;
+  uint32_t pbsm_partitions = 0;
+  uint32_t pbsm_leaf_tiles = 0;
+  /// Estimated cost of the histogram-build pass adaptive partitioning
+  /// adds for inputs without attached histograms (0 when fixed or when
+  /// both histograms are attached).
+  double histogram_build_seconds = 0.0;
+  /// End-to-end PBSM estimate (distribution + replicated write/read +
+  /// histogram pass + refinement term), for comparison against the
+  /// stream/index costs above.
+  double pbsm_cost_seconds = 0.0;
   std::string rationale;
 
   /// One human-readable line: algorithm, touched fraction, both plan

@@ -18,6 +18,18 @@ std::string JoinStats::Describe() const {
   if (max_sweep_bytes > 0) {
     os << "; sweep max " << (max_sweep_bytes + 1023) / 1024 << " KB";
   }
+  if (partitions_total > 0) {
+    os << "; " << (pbsm_adaptive ? "adaptive" : "fixed") << " "
+       << pbsm_tiles_x << "x" << pbsm_tiles_y << " grid";
+    if (pbsm_split_tiles > 0) {
+      os << " (" << pbsm_leaf_tiles << " leaves, " << pbsm_split_tiles
+         << " split)";
+    }
+    os << ", " << partitions_total << " partitions";
+    if (partitions_overflowed > 0) {
+      os << " (" << partitions_overflowed << " overflowed)";
+    }
+  }
   return os.str();
 }
 

@@ -40,9 +40,27 @@ struct JoinOptions {
   SweepStructureKind partition_sweep = SweepStructureKind::kForward;
   /// Strips for Striped-Sweep.
   uint32_t striped_strips = 1024;
-  /// PBSM tile grid (the paper raised Patel & DeWitt's 32x32 to 128x128 to
-  /// avoid overfull partitions).
+  /// PBSM tile grid for *fixed-grid* partitioning (the paper raised Patel
+  /// & DeWitt's 32x32 to 128x128 to avoid overfull partitions). Ignored
+  /// when adaptive_partitioning is on — the PartitionPlanner sizes the
+  /// grid from the data instead.
   uint32_t pbsm_tiles_per_axis = 128;
+  /// Skew-adaptive PBSM partitioning (src/join/partition_plan.h): size
+  /// the tile grid from a spatial histogram (built on the fly from an
+  /// extra scan when the query attaches none), split overfull tiles
+  /// recursively, and assign tiles to partitions by weighted greedy
+  /// bin-packing — so clustered data lands in balanced partitions and
+  /// the external-sort overflow fallback becomes a last resort. Off =
+  /// the paper's fixed pbsm_tiles_per_axis grid with round-robin
+  /// assignment.
+  bool adaptive_partitioning = true;
+  /// Cells per axis of the histogram PBSM builds when adaptive
+  /// partitioning has none attached. Finer than the paper's tile grids
+  /// (the planner splits *tiles* from cell-level evidence, and below
+  /// cell resolution estimates degrade to uniform-within-cell, so
+  /// resolution directly bounds how well packing predicts hot-blob
+  /// partition contents); 256^2 cells cost 512 KB of planner state.
+  uint32_t pbsm_histogram_resolution = 256;
   /// SSSJ ablation: when true the merge phase of the final sort feeds the
   /// sweep directly instead of materializing the sorted stream, saving one
   /// write and one read pass over each input.
@@ -88,10 +106,19 @@ struct JoinStats {
   /// Maxima of the in-memory data structures (Table 3).
   size_t max_sweep_bytes = 0;
   size_t max_queue_bytes = 0;
-  /// PBSM partitioning behaviour (ablation: tile-count sensitivity).
+  /// PBSM partitioning behaviour (ablation: tile-count sensitivity; the
+  /// adaptive-vs-fixed comparison in bench_skew).
   uint32_t partitions_total = 0;
   uint32_t partitions_overflowed = 0;
   size_t max_partition_bytes = 0;
+  /// The partition map PBSM actually used: base grid shape, leaves after
+  /// recursive splits (== the base tile count for fixed grids), split
+  /// base tiles (0 for fixed), and whether the adaptive planner ran.
+  uint32_t pbsm_tiles_x = 0;
+  uint32_t pbsm_tiles_y = 0;
+  uint32_t pbsm_leaf_tiles = 0;
+  uint32_t pbsm_split_tiles = 0;
+  bool pbsm_adaptive = false;
   /// Filter-and-refine split: candidate_count is the MBR filter's output.
   /// Without refinement it equals output_count; with options.refine the
   /// exact results land in output_count and refine_pages_read counts the

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "join/partition_plan.h"
 #include "sort/external_sort.h"
 #include "sweep/sweep_join.h"
 #include "util/thread_pool.h"
@@ -12,70 +14,6 @@
 namespace sj {
 namespace {
 
-/// Tile geometry plus the round-robin tile -> partition map.
-class TileGrid {
- public:
-  TileGrid(const RectF& extent, uint32_t tiles_per_axis, uint32_t partitions)
-      : extent_(extent),
-        tiles_(std::max(1u, tiles_per_axis)),
-        partitions_(std::max(1u, partitions)) {
-    tile_w_ = (extent.xhi - extent.xlo) / static_cast<float>(tiles_);
-    tile_h_ = (extent.yhi - extent.ylo) / static_cast<float>(tiles_);
-    if (!(tile_w_ > 0.0f)) tile_w_ = 1.0f;
-    if (!(tile_h_ > 0.0f)) tile_h_ = 1.0f;
-  }
-
-  uint32_t TileX(float x) const { return Clamp((x - extent_.xlo) / tile_w_); }
-  uint32_t TileY(float y) const { return Clamp((y - extent_.ylo) / tile_h_); }
-
-  uint32_t PartitionOfTile(uint32_t tx, uint32_t ty) const {
-    return (ty * tiles_ + tx) % partitions_;  // Row-major round-robin.
-  }
-
-  /// Appends the distinct partitions overlapping `r` to `out` (cleared
-  /// first).
-  void PartitionsOf(const RectF& r, std::vector<uint32_t>* out) const {
-    out->clear();
-    const uint32_t x0 = TileX(r.xlo), x1 = TileX(r.xhi);
-    const uint32_t y0 = TileY(r.ylo), y1 = TileY(r.yhi);
-    const uint64_t span = static_cast<uint64_t>(x1 - x0 + 1) * (y1 - y0 + 1);
-    if (span >= partitions_) {
-      // A rectangle covering >= p tiles in a row-major round-robin grid
-      // can touch every partition; enumerate them all.
-      for (uint32_t p = 0; p < partitions_; ++p) out->push_back(p);
-      return;
-    }
-    for (uint32_t ty = y0; ty <= y1; ++ty) {
-      for (uint32_t tx = x0; tx <= x1; ++tx) {
-        const uint32_t p = PartitionOfTile(tx, ty);
-        if (std::find(out->begin(), out->end(), p) == out->end()) {
-          out->push_back(p);
-        }
-      }
-    }
-  }
-
-  /// The partition owning the reference point of the pair (r, s): the
-  /// lower-left corner of the intersection.
-  uint32_t ReferencePartition(const RectF& r, const RectF& s) const {
-    const float rx = std::max(r.xlo, s.xlo);
-    const float ry = std::max(r.ylo, s.ylo);
-    return PartitionOfTile(TileX(rx), TileY(ry));
-  }
-
- private:
-  uint32_t Clamp(float rel) const {
-    if (!(rel > 0.0f)) return 0;
-    return std::min(static_cast<uint32_t>(rel), tiles_ - 1);
-  }
-
-  RectF extent_;
-  uint32_t tiles_;
-  uint32_t partitions_;
-  float tile_w_;
-  float tile_h_;
-};
-
 /// One side of one partition: its own device plus an open writer.
 struct PartitionFile {
   std::unique_ptr<Pager> pager;
@@ -83,11 +21,13 @@ struct PartitionFile {
   StreamRange range;
 };
 
-// Small write blocks: one writer stays open per partition and side, so
-// 512 KB blocks would blow the memory budget for large partition counts.
-constexpr uint32_t kPartitionWriterBlockPages = 4;
+// Partition writer flush blocks come from the PartitionMap: the paper's
+// small constant (4 pages — one writer stays open per partition and
+// side, so 512 KB blocks would blow the memory budget for large
+// partition counts) on the fixed path, the plan-budgeted size on the
+// adaptive path.
 
-Status DistributeInput(const DatasetRef& input, const TileGrid& grid,
+Status DistributeInput(const DatasetRef& input, const PartitionMap& grid,
                        std::vector<PartitionFile>* files) {
   StreamReader<RectF> reader(input.range.pager, input.range.first_page,
                              input.range.count);
@@ -107,14 +47,15 @@ Status DistributeInput(const DatasetRef& input, const TileGrid& grid,
 
 Result<std::vector<PartitionFile>> MakePartitionFiles(DiskModel* disk,
                                                       const char* side,
-                                                      uint32_t p) {
+                                                      uint32_t p,
+                                                      uint32_t block_pages) {
   std::vector<PartitionFile> files(p);
   for (uint32_t i = 0; i < p; ++i) {
     files[i].pager =
         MakeMemoryPager(disk, std::string("pbsm.") + side + "." +
                                   std::to_string(i));
     files[i].writer = std::make_unique<StreamWriter<RectF>>(
-        files[i].pager.get(), kPartitionWriterBlockPages);
+        files[i].pager.get(), block_pages);
   }
   return files;
 }
@@ -131,22 +72,64 @@ Result<std::vector<RectF>> ReadAll(const StreamRange& range) {
 
 Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
                            DiskModel* disk, const JoinOptions& options,
-                           JoinSink* sink) {
+                           JoinSink* sink, const GridHistogram* hist_a,
+                           const GridHistogram* hist_b) {
   JoinMeasurement measurement(disk);
   SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
 
-  // Choose p so that an average partition pair fits comfortably in memory.
-  const uint64_t total_bytes = (a.count() + b.count()) * sizeof(RectF);
-  const uint32_t p = static_cast<uint32_t>(std::max<uint64_t>(
-      1, (total_bytes + options.memory_bytes * 4 / 5 - 1) /
-             (options.memory_bytes * 4 / 5)));
-  const TileGrid grid(extent, options.pbsm_tiles_per_axis, p);
+  // Partitioning plan. Adaptive: histogram-driven tile tree + weighted
+  // bin-packing; missing histograms are built here with one extra scan
+  // per side (charged to `disk`, so the pass shows up in the measured
+  // stats exactly as the cost model prices it). Fixed: the paper's
+  // uniform grid with round-robin assignment, p chosen so an average
+  // partition pair fits comfortably in memory.
+  std::unique_ptr<PartitionMap> grid_owned;
+  if (options.adaptive_partitioning) {
+    // Histograms live only as long as planning; they are released before
+    // distribution so the writer buffers own the phase's memory. Built
+    // histograms sample one block in kPbsmHistogramSampleOneInBlocks
+    // (scaled to the exact record count) — the APR-style sampling
+    // construction — so the density pass costs a fraction of a scan.
+    constexpr uint32_t kSampleOneInBlocks = kPbsmHistogramSampleOneInBlocks;
+    std::optional<GridHistogram> built_a, built_b;
+    const uint32_t res = std::max(1u, options.pbsm_histogram_resolution);
+    if (hist_a == nullptr) {
+      auto built = GridHistogram::BuildSampled(a.range, extent, res, res,
+                                               kSampleOneInBlocks);
+      SJ_RETURN_IF_ERROR(built.status());
+      built_a.emplace(std::move(*built));
+      hist_a = &*built_a;
+    }
+    if (hist_b == nullptr) {
+      auto built = GridHistogram::BuildSampled(b.range, extent, res, res,
+                                               kSampleOneInBlocks);
+      SJ_RETURN_IF_ERROR(built.status());
+      built_b.emplace(std::move(*built));
+      hist_b = &*built_b;
+    }
+    PartitionPlannerConfig config;
+    config.memory_bytes = options.memory_bytes;
+    // Splits may go below the histogram resolution (uniform-within-cell
+    // estimates still quarter hot blobs geometrically), so the cap only
+    // rises with a finer histogram, never falls.
+    config.max_resolution = std::max(config.max_resolution, res);
+    grid_owned = PartitionPlanner::Plan(extent, *hist_a, *hist_b, config);
+  } else {
+    const uint64_t total_bytes = (a.count() + b.count()) * sizeof(RectF);
+    grid_owned = std::make_unique<FixedGridPartitionMap>(
+        extent, options.pbsm_tiles_per_axis,
+        PbsmPartitionCount(total_bytes, options.memory_bytes));
+  }
+  const PartitionMap& grid = *grid_owned;
+  const uint32_t p = grid.partitions();
 
   // Phase 1: distribute both inputs into partition files.
-  SJ_ASSIGN_OR_RETURN(std::vector<PartitionFile> files_a,
-                      MakePartitionFiles(disk, "a", p));
-  SJ_ASSIGN_OR_RETURN(std::vector<PartitionFile> files_b,
-                      MakePartitionFiles(disk, "b", p));
+  SJ_ASSIGN_OR_RETURN(
+      std::vector<PartitionFile> files_a,
+      MakePartitionFiles(disk, "a", p, grid.writer_block_pages()));
+  SJ_ASSIGN_OR_RETURN(
+      std::vector<PartitionFile> files_b,
+      MakePartitionFiles(disk, "b", p, grid.writer_block_pages()));
   SJ_RETURN_IF_ERROR(DistributeInput(a, grid, &files_a));
   SJ_RETURN_IF_ERROR(DistributeInput(b, grid, &files_b));
 
@@ -267,6 +250,11 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   stats.partitions_total = p;
   stats.partitions_overflowed = overflowed;
   stats.max_partition_bytes = max_partition_bytes;
+  stats.pbsm_tiles_x = grid.tiles_x();
+  stats.pbsm_tiles_y = grid.tiles_y();
+  stats.pbsm_leaf_tiles = grid.leaf_tiles();
+  stats.pbsm_split_tiles = grid.split_tiles();
+  stats.pbsm_adaptive = grid.adaptive();
   return stats;
 }
 

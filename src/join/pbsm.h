@@ -1,6 +1,7 @@
 #ifndef USJ_JOIN_PBSM_H_
 #define USJ_JOIN_PBSM_H_
 
+#include "histogram/grid_histogram.h"
 #include "io/disk_model.h"
 #include "join/join_types.h"
 #include "util/result.h"
@@ -9,24 +10,36 @@ namespace sj {
 
 /// Partition-Based Spatial Merge Join (Patel & DeWitt, SIGMOD'96) — §3.2.
 ///
-/// The space is cut into `pbsm_tiles_per_axis`^2 tiles, tiles are assigned
-/// round-robin (in row-major order) to p partitions where p is chosen so a
-/// partition pair fits in memory, and each rectangle is replicated into
-/// every partition one of its tiles maps to. Each partition is then joined
-/// in memory with a plane sweep (Forward-Sweep, following the original).
+/// The space is cut into tiles, tiles are assigned to p partitions, and
+/// each rectangle is replicated into every partition one of its tiles
+/// maps to. Each partition is then joined in memory with a plane sweep
+/// (Forward-Sweep, following the original).
 ///
-/// Duplicate suppression uses the reference-point method: a pair (r, s) is
-/// reported only in the partition owning the tile that contains the lower
-/// corner of r ∩ s, which both r and s necessarily overlap — so the output
-/// is exact and duplicate free.
+/// Partitioning is pluggable (src/join/partition_plan.h). With
+/// options.adaptive_partitioning (the default) the tile grid is sized
+/// from a GridHistogram — `hist_a`/`hist_b` when the caller attached
+/// them, else histograms built here with one extra scan per side —
+/// overfull tiles are split recursively, and tiles are bin-packed onto
+/// partitions by weight, so clustered data rarely overflows. With the
+/// knob off, the paper's fixed `pbsm_tiles_per_axis`^2 grid with
+/// row-major round-robin assignment runs instead, and p is chosen so an
+/// average partition pair fits in memory.
 ///
-/// A partition whose contents exceed the memory budget (clustered data)
-/// falls back to an external sort + streaming sweep of that partition;
-/// the paper instead tuned the tile count (32^2 -> 128^2) to make
-/// overflows rare, which bench_ablation_pbsm_tiles reproduces.
+/// Duplicate suppression uses the reference-point method: a pair (r, s)
+/// is reported only in the partition owning the tile that contains the
+/// lower corner of r ∩ s, which both r and s necessarily overlap — so
+/// the output is exact and duplicate free under either partitioning.
+///
+/// A partition whose contents exceed the memory budget falls back to an
+/// external sort + streaming sweep of that partition; the paper instead
+/// tuned the tile count (32^2 -> 128^2) to make overflows rare, which
+/// bench_ablation_pbsm_tiles reproduces and bench_skew contrasts with
+/// the adaptive planner.
 Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
                            DiskModel* disk, const JoinOptions& options,
-                           JoinSink* sink);
+                           JoinSink* sink,
+                           const GridHistogram* hist_a = nullptr,
+                           const GridHistogram* hist_b = nullptr);
 
 }  // namespace sj
 

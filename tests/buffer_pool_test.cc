@@ -93,5 +93,104 @@ TEST(BufferPool, PaperCapacityIs22MB) {
   EXPECT_EQ(BufferPool::kPaperCapacityPages * kPageSize, 22u << 20);
 }
 
+TEST_F(BufferPoolTest, CapacityOneEvictsOnEveryAlternation) {
+  // The degenerate pool: one frame. Alternating pages evicts every time;
+  // repeating a page hits.
+  BufferPool pool(1);
+  EXPECT_EQ(FirstByte(&pool, 0), 1);
+  EXPECT_EQ(FirstByte(&pool, 1), 2);  // Evicts 0.
+  EXPECT_EQ(FirstByte(&pool, 0), 1);  // Evicts 1, re-reads 0.
+  EXPECT_EQ(pool.cached_pages(), 1u);
+  EXPECT_EQ(pool.stats().misses, 3u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(FirstByte(&pool, 0), 1);  // Finally a hit.
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.cached_pages(), 1u);
+}
+
+TEST_F(BufferPoolTest, ReGetAfterClearReturnsCorrectDataAndCachesAgain) {
+  BufferPool pool(4);
+  EXPECT_EQ(FirstByte(&pool, 2), 3);
+  EXPECT_EQ(FirstByte(&pool, 2), 3);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  // The re-Get after Clear() must re-read correct data and re-populate
+  // the cache (a subsequent Get hits again).
+  disk_.ResetStats();
+  EXPECT_EQ(FirstByte(&pool, 2), 3);
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+  EXPECT_EQ(FirstByte(&pool, 2), 3);
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+  EXPECT_EQ(pool.cached_pages(), 1u);
+  EXPECT_EQ(pool.stats().hits, 2u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST_F(BufferPoolTest, FrameKeysDistinguishManyPagersWithEqualPageIds) {
+  // Three pagers, same page ids, distinct contents: the (device, page)
+  // frame key must keep all of them apart, including under eviction
+  // pressure.
+  Pager q(std::make_unique<MemoryBackend>(), &disk_, "q");
+  Pager s(std::make_unique<MemoryBackend>(), &disk_, "s");
+  uint8_t page[kPageSize];
+  for (PageId i = 0; i < 3; ++i) {
+    std::memset(page, 0x40 + static_cast<int>(i), kPageSize);
+    SJ_CHECK_OK(q.WritePage(i, page));
+    std::memset(page, 0x60 + static_cast<int>(i), kPageSize);
+    SJ_CHECK_OK(s.WritePage(i, page));
+  }
+
+  BufferPool pool(9);
+  uint8_t buf[kPageSize];
+  for (PageId i = 0; i < 3; ++i) {
+    EXPECT_EQ(FirstByte(&pool, i), 1 + static_cast<int>(i));
+    SJ_CHECK_OK(pool.Get(&q, i, buf));
+    EXPECT_EQ(buf[0], 0x40 + static_cast<int>(i));
+    SJ_CHECK_OK(pool.Get(&s, i, buf));
+    EXPECT_EQ(buf[0], 0x60 + static_cast<int>(i));
+  }
+  EXPECT_EQ(pool.cached_pages(), 9u);
+  EXPECT_EQ(pool.stats().misses, 9u);
+  // All nine frames are distinct: re-reading each hits.
+  for (PageId i = 0; i < 3; ++i) {
+    EXPECT_EQ(FirstByte(&pool, i), 1 + static_cast<int>(i));
+    SJ_CHECK_OK(pool.Get(&q, i, buf));
+    SJ_CHECK_OK(pool.Get(&s, i, buf));
+  }
+  EXPECT_EQ(pool.stats().hits, 9u);
+  // Under a smaller pool the same mix evicts across pagers without ever
+  // serving the wrong device's bytes.
+  BufferPool tight(2);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId i = 0; i < 3; ++i) {
+      SJ_CHECK_OK(tight.Get(&q, i, buf));
+      EXPECT_EQ(buf[0], 0x40 + static_cast<int>(i));
+      SJ_CHECK_OK(tight.Get(&s, i, buf));
+      EXPECT_EQ(buf[0], 0x60 + static_cast<int>(i));
+      EXPECT_LE(tight.cached_pages(), 2u);
+    }
+  }
+}
+
+TEST_F(BufferPoolTest, StatsDeltasMatchDiskReadsExactly) {
+  // Pool misses are precisely the requests that reach the disk: over any
+  // access sequence, the miss delta equals the disk's pages_read delta
+  // and requests always equal hits + misses.
+  BufferPool pool(3);
+  const PageId sequence[] = {0, 1, 2, 0, 1, 3, 0, 3, 9, 2, 2, 0};
+  uint64_t last_misses = 0;
+  for (PageId p : sequence) {
+    disk_.ResetStats();
+    FirstByte(&pool, p);
+    const uint64_t miss_delta = pool.stats().misses - last_misses;
+    EXPECT_EQ(miss_delta, disk_.stats().pages_read)
+        << "page " << p << ": a miss must cause exactly one disk read";
+    last_misses = pool.stats().misses;
+    EXPECT_EQ(pool.stats().requests, pool.stats().hits + pool.stats().misses);
+  }
+  EXPECT_EQ(pool.stats().requests, 12u);
+}
+
 }  // namespace
 }  // namespace sj

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "datagen/dataset_file.h"
 #include "datagen/synthetic.h"
+#include "histogram/grid_histogram.h"
 #include "sweep/interval_structures.h"
 #include "sweep/sweep_join.h"
 #include "test_util.h"
@@ -205,6 +208,69 @@ TEST(DatasetFile, DetectsBadMagic) {
   auto opened = OpenDataset(pager.get(), 0);
   EXPECT_FALSE(opened.ok());
   EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SkewedGenerators, ZipfMassConcentratesWithTheta) {
+  const RectF region(0, 0, 400, 400);
+  // Shared geography, independent samples: the two relations' hotspot
+  // centers coincide.
+  const auto flat = ZipfClusteredRects(20000, region, 8, 0.0, 4.0f, 1.0f,
+                                       1, 0, 777);
+  const auto skewed = ZipfClusteredRects(20000, region, 8, 1.6, 4.0f, 1.0f,
+                                         2, 0, 777);
+  // The rank-0 hotspot center is the first draw of the center stream
+  // (center_seed 777), reproduced here.
+  Random center_rng(777);
+  const float top_cx = static_cast<float>(center_rng.UniformDouble(0, 400));
+  const float top_cy = static_cast<float>(center_rng.UniformDouble(0, 400));
+  // Determinism: same arguments, same output.
+  EXPECT_EQ(ZipfClusteredRects(100, region, 8, 1.6, 4.0f, 1.0f, 2, 0, 777),
+            ZipfClusteredRects(100, region, 8, 1.6, 4.0f, 1.0f, 2, 0, 777));
+  auto near_top = [&](const std::vector<RectF>& rects) {
+    const float cx = top_cx, cy = top_cy;
+    uint64_t n = 0;
+    for (const RectF& r : rects) {
+      const float dx = r.CenterX() - cx, dy = r.CenterY() - cy;
+      if (dx * dx + dy * dy < 16.0f * 16.0f) n++;
+    }
+    return n;
+  };
+  // theta = 0 spreads evenly (~1/8 per hotspot); theta = 1.6 puts about
+  // half the mass in the top hotspot.
+  EXPECT_LT(near_top(flat), 20000 / 4);
+  EXPECT_GT(near_top(skewed), 20000 / 3);
+  EXPECT_GT(near_top(skewed), 2 * near_top(flat));
+}
+
+TEST(SkewedGenerators, DiagonalBandHugsTheDiagonal) {
+  const RectF region(0, 0, 400, 400);
+  const auto rects = DiagonalBandRects(5000, region, 5.0f, 1.0f, 4);
+  ASSERT_EQ(rects.size(), 5000u);
+  uint64_t close = 0;
+  for (const RectF& r : rects) {
+    if (std::abs(r.CenterX() - r.CenterY()) < 20.0f) close++;
+    EXPECT_TRUE(r.Valid());
+  }
+  EXPECT_GT(close, 4800u);  // ~4 sigma of the perpendicular jitter.
+}
+
+TEST(SkewedGenerators, UniformWithCityPacksTheRequestedFraction) {
+  const RectF region(0, 0, 400, 400);
+  const float side = 20.0f;
+  const auto rects = UniformWithCityRects(20000, region, 0.5, side, 0.5f, 5);
+  // Find the city by majority: the densest 20x20 cell of a coarse scan.
+  GridHistogram hist(region, 20, 20);
+  for (const RectF& r : rects) hist.Add(r);
+  uint64_t max_cell = 0;
+  for (uint32_t y = 0; y < 20; ++y) {
+    for (uint32_t x = 0; x < 20; ++x) {
+      max_cell = std::max(max_cell, hist.CellCount(x, y));
+    }
+  }
+  // The city square covers one cell's area but may straddle up to four
+  // cells; even then its densest cell holds a large multiple of the
+  // ~25-records/cell uniform background.
+  EXPECT_GT(max_cell, 2000u);
 }
 
 TEST(DatasetFile, EmptyDataset) {

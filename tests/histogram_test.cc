@@ -108,5 +108,85 @@ TEST(GridHistogram, DegenerateExtent) {
   EXPECT_EQ(hist.total(), 1u);
 }
 
+TEST(GridHistogram, EstimateCountInTracksRegionMass) {
+  const RectF extent(0, 0, 100, 100);
+  GridHistogram hist(extent, 32, 32);
+  // 1000 points in the lower-left quadrant, 200 in the upper-right.
+  const auto lower = UniformRects(1000, RectF(0, 0, 49, 49), 0.0f, 21);
+  const auto upper = UniformRects(200, RectF(51, 51, 100, 100), 0.0f, 22);
+  for (const RectF& r : lower) hist.Add(r);
+  for (const RectF& r : upper) hist.Add(r);
+
+  EXPECT_NEAR(hist.EstimateCountIn(RectF(0, 0, 50, 50)), 1000.0, 60.0);
+  EXPECT_NEAR(hist.EstimateCountIn(RectF(50, 50, 100, 100)), 200.0, 30.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF(200, 0, 300, 100)), 0.0);
+  // Whole extent recovers the total (points overlap one cell each, so
+  // there is no replication inflation).
+  EXPECT_NEAR(hist.EstimateCountIn(extent), 1200.0, 1.0);
+  // Sub-cell queries degrade to the uniform-within-cell assumption: four
+  // disjoint quadrants of one cell sum to the cell's own estimate.
+  const RectF cell(0, 0, 100.0f / 32, 100.0f / 32);
+  const float mx = 0.5f * (cell.xlo + cell.xhi);
+  const float my = 0.5f * (cell.ylo + cell.yhi);
+  const double whole = hist.EstimateCountIn(cell);
+  const double quads = hist.EstimateCountIn(RectF(cell.xlo, cell.ylo, mx, my)) +
+                       hist.EstimateCountIn(RectF(mx, cell.ylo, cell.xhi, my)) +
+                       hist.EstimateCountIn(RectF(cell.xlo, my, mx, cell.yhi)) +
+                       hist.EstimateCountIn(RectF(mx, my, cell.xhi, cell.yhi));
+  EXPECT_NEAR(quads, whole, 1e-6 * (1.0 + whole));
+}
+
+TEST(GridHistogram, AverageCellsPerObjectMeasuresReplication) {
+  const RectF extent(0, 0, 100, 100);
+  GridHistogram points(extent, 10, 10);
+  points.Add(RectF(5, 5, 5, 5));
+  points.Add(RectF(15, 15, 15, 15));
+  EXPECT_DOUBLE_EQ(points.AverageCellsPerObject(), 1.0);
+
+  GridHistogram wide(extent, 10, 10);
+  wide.Add(RectF(0, 0, 100, 5));  // Spans the full row of 10 cells.
+  EXPECT_DOUBLE_EQ(wide.AverageCellsPerObject(), 10.0);
+
+  EXPECT_DOUBLE_EQ(GridHistogram(extent, 10, 10).AverageCellsPerObject(), 1.0);
+}
+
+TEST(GridHistogram, BuildSampledApproximatesTheFullBuild) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const RectF extent(0, 0, 100, 100);
+  // Dense corner + uniform background over many stream blocks (> 4
+  // blocks so sampling actually skips some).
+  auto rects = UniformRects(80000, RectF(0, 0, 20, 20), 0.5f, 23);
+  const auto rest = UniformRects(40000, extent, 0.5f, 24, 80000);
+  rects.insert(rects.end(), rest.begin(), rest.end());
+  const DatasetRef ref = MakeDataset(&td, rects, "s", &keep);
+
+  td.disk.ResetStats();
+  auto full = GridHistogram::Build(ref.range, extent, 16, 16);
+  ASSERT_TRUE(full.ok());
+  const uint64_t full_pages = td.disk.stats().pages_read;
+  td.disk.ResetStats();
+  auto sampled = GridHistogram::BuildSampled(ref.range, extent, 16, 16, 4);
+  ASSERT_TRUE(sampled.ok());
+  const uint64_t sampled_pages = td.disk.stats().pages_read;
+
+  // The sampled pass reads a fraction of the stream but is rescaled to
+  // the exact total; relative densities stay close.
+  EXPECT_LT(sampled_pages, full_pages / 2);
+  EXPECT_EQ(sampled->total(), full->total());
+  const double full_corner = full->EstimateCountIn(RectF(0, 0, 20, 20));
+  const double sampled_corner = sampled->EstimateCountIn(RectF(0, 0, 20, 20));
+  EXPECT_NEAR(sampled_corner / full_corner, 1.0, 0.15);
+
+  // sample_one_in = 1 is exactly Build().
+  auto unsampled = GridHistogram::BuildSampled(ref.range, extent, 16, 16, 1);
+  ASSERT_TRUE(unsampled.ok());
+  for (uint32_t y = 0; y < 16; ++y) {
+    for (uint32_t x = 0; x < 16; ++x) {
+      EXPECT_EQ(unsampled->CellCount(x, y), full->CellCount(x, y));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sj

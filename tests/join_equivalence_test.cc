@@ -158,15 +158,21 @@ INSTANTIATE_TEST_SUITE_P(
                         SweepStructureKind::kForward, 10}));  // Deep trees.
 
 // ---------------------------------------------------------------------------
-// The randomized differential harness: N seeded workloads (distribution,
-// cardinalities, density, fanout and memory budget all drawn from the
-// seed) × all five algorithm choices (SSSJ, PBSM, ST, PQ, kAuto) × 1/2/8
-// threads × filter-only and filter+refine — every configuration must
-// produce the identical sorted result set. A failure prints the workload
-// seed; replaying is deterministic:
+// The randomized differential harness: N seeded workloads (distribution
+// — uniform / clustered / Zipf-hotspot / diagonal-band / uniform+city /
+// TIGER-skewed — cardinalities, density, fanout and memory budget all
+// drawn from the seed) × all five algorithm choices (SSSJ, PBSM, ST, PQ,
+// kAuto) × 1/2/8 threads × adaptive/fixed partitioning (for the
+// algorithms it reaches) × filter-only and filter+refine — every
+// configuration must produce the identical sorted result set. A failure
+// prints the workload seed; replaying is deterministic:
 //
 //   SJ_DIFF_SEED=<seed> ./join_equivalence_test \
 //       --gtest_filter='RandomizedDifferential.*'
+//
+// The nightly CI job scales the harness up with fresh seeds:
+// SJ_DIFF_WORKLOADS=<n> multiplies the workload count, and SJ_DIFF_SEED
+// then selects the *base* of the seed range instead of a single replay.
 // ---------------------------------------------------------------------------
 
 struct GeneratedWorkload {
@@ -183,7 +189,7 @@ GeneratedWorkload GenerateWorkload(uint64_t seed) {
   const uint64_t nb = 400 + rng.Uniform(1100);
   const RectF region(0, 0, 400, 400);
   std::ostringstream desc;
-  switch (rng.Uniform(3)) {
+  switch (rng.Uniform(6)) {
     case 0: {  // Uniform, density varied via rectangle size.
       const float sa = static_cast<float>(rng.UniformDouble(0.5, 4.0));
       const float sb = static_cast<float>(rng.UniformDouble(0.5, 4.0));
@@ -198,6 +204,39 @@ GeneratedWorkload GenerateWorkload(uint64_t seed) {
       w.a = ClusteredRects(na, region, clusters, sigma, 2.0f, rng.Next());
       w.b = ClusteredRects(nb, region, clusters, sigma, 2.5f, rng.Next());
       desc << "clustered k=" << clusters << " sigma=" << sigma;
+      break;
+    }
+    case 2: {  // Zipf hotspots (heavy skew: the adaptive planner's case).
+      const uint32_t hotspots = 2 + static_cast<uint32_t>(rng.Uniform(10));
+      const double theta = rng.UniformDouble(0.5, 1.8);
+      const float sigma = static_cast<float>(rng.UniformDouble(1.0, 12.0));
+      // Both sides share the hotspot geography (one center seed) but
+      // sample records independently, so even needle-thin hotspots
+      // produce a non-empty join.
+      const uint64_t centers = rng.Next() | 1;
+      w.a = ZipfClusteredRects(na, region, hotspots, theta, sigma, 2.0f,
+                               rng.Next(), 0, centers);
+      w.b = ZipfClusteredRects(nb, region, hotspots, theta, sigma, 2.0f,
+                               rng.Next(), 0, centers);
+      desc << "zipf k=" << hotspots << " theta=" << theta
+           << " sigma=" << sigma;
+      break;
+    }
+    case 3: {  // Diagonal correlation band.
+      const float spread = static_cast<float>(rng.UniformDouble(2.0, 30.0));
+      w.a = DiagonalBandRects(na, region, spread, 2.0f, rng.Next());
+      w.b = DiagonalBandRects(nb, region, spread, 2.5f, rng.Next());
+      desc << "diagonal-band spread=" << spread;
+      break;
+    }
+    case 4: {  // Uniform background + one dense city.
+      const double fraction = rng.UniformDouble(0.3, 0.8);
+      const float side = static_cast<float>(rng.UniformDouble(4.0, 40.0));
+      w.a = UniformWithCityRects(na, region, fraction, side, 2.0f,
+                                 rng.Next());
+      w.b = UniformWithCityRects(nb, region, fraction, side, 2.0f,
+                                 rng.Next());
+      desc << "uniform+city fraction=" << fraction << " side=" << side;
       break;
     }
     default: {  // Skewed TIGER-style (Zipf county masses).
@@ -217,15 +256,31 @@ GeneratedWorkload GenerateWorkload(uint64_t seed) {
   return w;
 }
 
-TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
-  uint64_t base_seed = 0x5EED2026u;
-  int workloads = 6;
-  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
-    base_seed = std::strtoull(replay, nullptr, 0);
-    workloads = 1;
+/// Harness configuration from the environment: SJ_DIFF_SEED replays one
+/// workload from a specific seed; SJ_DIFF_WORKLOADS multiplies the
+/// workload count (the nightly CI job runs many fresh-seeded iterations;
+/// together with SJ_DIFF_SEED it replays a *range* starting there).
+struct DiffConfig {
+  uint64_t base_seed;
+  int workloads;
+};
+
+DiffConfig DiffConfigFromEnv(uint64_t default_seed, int default_workloads) {
+  DiffConfig config{default_seed, default_workloads};
+  if (const char* n = std::getenv("SJ_DIFF_WORKLOADS")) {
+    config.workloads = std::max(1, std::atoi(n));
   }
-  for (int trial = 0; trial < workloads; ++trial) {
-    const uint64_t seed = base_seed + static_cast<uint64_t>(trial);
+  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
+    config.base_seed = std::strtoull(replay, nullptr, 0);
+    if (std::getenv("SJ_DIFF_WORKLOADS") == nullptr) config.workloads = 1;
+  }
+  return config;
+}
+
+TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
+  const DiffConfig config = DiffConfigFromEnv(0x5EED2026u, 8);
+  for (int trial = 0; trial < config.workloads; ++trial) {
+    const uint64_t seed = config.base_seed + static_cast<uint64_t>(trial);
     const GeneratedWorkload w = GenerateWorkload(seed);
     SCOPED_TRACE("workload [" + w.description +
                  "] — replay with SJ_DIFF_SEED=" + std::to_string(seed));
@@ -272,6 +327,11 @@ TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
                              : JoinInput::FromStream(db);
       ia.WithFeatures(&*store_a);
       ib.WithFeatures(&*store_b);
+      // The partitioning dimension only changes PBSM's execution (kAuto
+      // may plan PBSM in the future), so only those algorithms double
+      // their configurations with the fixed-grid escape hatch.
+      const bool partitioning_applies =
+          algo == JoinAlgorithm::kPBSM || algo == JoinAlgorithm::kAuto;
       for (uint32_t threads : {1u, 2u, 8u}) {
         // One shared joiner per workload config; every variation below is
         // a per-query override, never a joiner mutation.
@@ -280,38 +340,46 @@ TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
         options.buffer_pool_pages = std::max<size_t>(
             16, w.memory_bytes / kPageSize);
         SpatialJoiner joiner(&td.disk, options);
-        {
-          CollectingSink sink;
-          auto stats = JoinQuery(joiner)
-                           .Input(ia)
-                           .Input(ib)
-                           .Algorithm(algo)
-                           .Threads(threads)
-                           .RefineBatchPairs(512)
-                           .Run(&sink);
-          ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
-                                  << ": " << stats.status().ToString();
-          EXPECT_EQ(Sorted(sink.pairs()), expected_filter)
-              << ToString(algo) << " filter, " << threads << " threads";
-        }
-        {
-          CollectingSink sink;
-          auto stats = JoinQuery(joiner)
-                           .Input(ia)
-                           .Input(ib)
-                           .Algorithm(algo)
-                           .Threads(threads)
-                           .RefineBatchPairs(512)
-                           .Refine(true)
-                           .Run(&sink);
-          ASSERT_TRUE(stats.ok()) << ToString(algo) << " t" << threads
-                                  << ": " << stats.status().ToString();
-          EXPECT_EQ(Sorted(sink.pairs()), expected_exact)
-              << ToString(algo) << " refined, " << threads << " threads";
-          EXPECT_EQ(stats->candidate_count, expected_filter.size())
-              << ToString(algo) << " refined, " << threads << " threads";
-          EXPECT_FALSE(joiner.options().refine)
-              << "per-query override must not mutate the shared joiner";
+        for (bool adaptive : {true, false}) {
+          if (!adaptive && !partitioning_applies) continue;
+          const std::string variant =
+              std::string(ToString(algo)) + " t" + std::to_string(threads) +
+              (adaptive ? " adaptive" : " fixed-grid");
+          {
+            CollectingSink sink;
+            auto stats = JoinQuery(joiner)
+                             .Input(ia)
+                             .Input(ib)
+                             .Algorithm(algo)
+                             .Threads(threads)
+                             .AdaptivePartitioning(adaptive)
+                             .RefineBatchPairs(512)
+                             .Run(&sink);
+            ASSERT_TRUE(stats.ok()) << variant << ": "
+                                    << stats.status().ToString();
+            EXPECT_EQ(Sorted(sink.pairs()), expected_filter)
+                << variant << " filter";
+          }
+          {
+            CollectingSink sink;
+            auto stats = JoinQuery(joiner)
+                             .Input(ia)
+                             .Input(ib)
+                             .Algorithm(algo)
+                             .Threads(threads)
+                             .AdaptivePartitioning(adaptive)
+                             .RefineBatchPairs(512)
+                             .Refine(true)
+                             .Run(&sink);
+            ASSERT_TRUE(stats.ok()) << variant << ": "
+                                    << stats.status().ToString();
+            EXPECT_EQ(Sorted(sink.pairs()), expected_exact)
+                << variant << " refined";
+            EXPECT_EQ(stats->candidate_count, expected_filter.size())
+                << variant << " refined";
+            EXPECT_FALSE(joiner.options().refine)
+                << "per-query override must not mutate the shared joiner";
+          }
         }
       }
     }
@@ -389,12 +457,9 @@ TEST(JoinQueryOverrides, MatchDedicatedJoinerAndLeaveSharedOptionsAlone) {
 // ---------------------------------------------------------------------------
 
 TEST(RandomizedDifferential, DistancePredicateAgreesWithBruteForce) {
-  uint64_t base_seed = 0xD157A6CEu;
-  int workloads = 3;
-  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
-    base_seed = std::strtoull(replay, nullptr, 0);
-    workloads = 1;
-  }
+  const DiffConfig config = DiffConfigFromEnv(0xD157A6CEu, 3);
+  const uint64_t base_seed = config.base_seed;
+  const int workloads = config.workloads;
   // A sparse seed can legitimately produce an empty join (clusters far
   // apart); the pipeline must then return empty too, but across the suite
   // at least one workload has to exercise real matches.
@@ -560,12 +625,9 @@ ContainmentWorkload GenerateContainmentWorkload(uint64_t seed) {
 }
 
 TEST(RandomizedDifferential, ContainmentPredicateAgreesWithBruteForce) {
-  uint64_t base_seed = 0xC047A15u;
-  int workloads = 3;
-  if (const char* replay = std::getenv("SJ_DIFF_SEED")) {
-    base_seed = std::strtoull(replay, nullptr, 0);
-    workloads = 1;
-  }
+  const DiffConfig config = DiffConfigFromEnv(0xC047A15u, 3);
+  const uint64_t base_seed = config.base_seed;
+  const int workloads = config.workloads;
   for (int trial = 0; trial < workloads; ++trial) {
     const uint64_t seed = base_seed + static_cast<uint64_t>(trial);
     const ContainmentWorkload w = GenerateContainmentWorkload(seed);

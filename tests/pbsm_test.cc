@@ -40,6 +40,9 @@ TEST_P(PbsmParamTest, ExactDuplicateFreeOutput) {
   const DatasetRef db = MakeDataset(&td, b, "b", &keep);
 
   JoinOptions options;
+  // These cases ablate the *fixed* tile grid; the adaptive planner has
+  // its own suite below and in partition_plan_test.cc.
+  options.adaptive_partitioning = false;
   options.pbsm_tiles_per_axis = c.tiles;
   options.memory_bytes = c.memory;
   CollectingSink sink;
@@ -81,6 +84,8 @@ TEST(PBSM, GiantRectangleSpanningEverything) {
   const DatasetRef db = MakeDataset(&td, b, "b", &keep);
 
   JoinOptions options;
+  options.adaptive_partitioning = false;  // The span>=p shortcut is
+                                          // round-robin-specific.
   options.memory_bytes = 32u << 10;  // Force several partitions.
   CollectingSink sink;
   auto stats = PBSMJoin(da, db, &td.disk, options, &sink);
@@ -105,12 +110,120 @@ TEST(PBSM, OverflowPartitionFallsBackToExternalSort) {
   const DatasetRef db = MakeDataset(&td, b2, "b", &keep);
 
   JoinOptions options;
+  options.adaptive_partitioning = false;  // The fixed 16^2 grid under test.
   options.memory_bytes = 64u << 10;  // 8000 rects * 20 B > 64 KB.
   options.pbsm_tiles_per_axis = 16;
   CollectingSink sink;
   auto stats = PBSMJoin(da, db, &td.disk, options, &sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a2, b2));
+}
+
+// The direct regression test for the overflow fallback branch: a tiny
+// memory budget plus data no tile grid can separate (every rectangle
+// overlaps one common point, so splitting cannot spread them) *must*
+// engage the external-sort path — asserted via partitions_overflowed —
+// and still produce exactly the brute-force result. Covers adaptive and
+// fixed partitioning at 1 and 8 threads.
+TEST(PBSM, OverflowFallbackEngagesAndMatchesBruteForce) {
+  const RectF region(0, 0, 100, 100);
+  Random rng(77);
+  std::vector<RectF> a, b;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    // All rectangles contain the point (50, 50): unsplittable hot mass.
+    const float u = static_cast<float>(rng.UniformDouble(0.01, 0.5));
+    const float v = static_cast<float>(rng.UniformDouble(0.01, 0.5));
+    a.push_back(RectF(50 - u, 50 - v, 50 + v, 50 + u,
+                      static_cast<ObjectId>(i)));
+    const float w = static_cast<float>(rng.UniformDouble(0.01, 0.5));
+    const float z = static_cast<float>(rng.UniformDouble(0.01, 0.5));
+    b.push_back(RectF(50 - w, 50 - z, 50 + z, 50 + w,
+                      static_cast<ObjectId>(i)));
+  }
+  // Far-away points so the extent (and grid) is much larger than the hot
+  // spot.
+  a.push_back(RectF(0, 0, 0.1f, 0.1f, 500000));
+  b.push_back(RectF(99, 99, 99.1f, 99.1f, 500001));
+  const auto expected = BruteForcePairs(a, b);
+
+  for (const bool adaptive : {true, false}) {
+    for (const uint32_t threads : {1u, 8u}) {
+      TestDisk td;
+      std::vector<std::unique_ptr<Pager>> keep;
+      const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+      const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+      JoinOptions options;
+      options.adaptive_partitioning = adaptive;
+      options.memory_bytes = 32u << 10;  // 6000 rects * 20 B >> 32 KB.
+      options.num_threads = threads;
+      CollectingSink sink;
+      auto stats = PBSMJoin(da, db, &td.disk, options, &sink);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_GE(stats->partitions_overflowed, 1u)
+          << "overflow fallback did not engage ("
+          << (adaptive ? "adaptive" : "fixed") << ", t" << threads << ")";
+      EXPECT_GT(stats->max_partition_bytes, options.memory_bytes);
+      EXPECT_EQ(Sorted(sink.pairs()), expected)
+          << (adaptive ? "adaptive" : "fixed") << " t" << threads;
+    }
+  }
+}
+
+TEST(PBSM, AdaptiveAndFixedProduceIdenticalOutput) {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const RectF region(0, 0, 500, 500);
+  const auto a = ClusteredRects(3000, region, 5, 8.0f, 2.0f, 31);
+  const auto b = ZipfClusteredRects(2500, region, 6, 1.2, 10.0f, 2.0f, 32);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+  const auto expected = BruteForcePairs(a, b);
+
+  JoinOptions options;
+  options.memory_bytes = 48u << 10;
+  options.adaptive_partitioning = true;
+  CollectingSink adaptive_sink;
+  auto adaptive_stats = PBSMJoin(da, db, &td.disk, options, &adaptive_sink);
+  ASSERT_TRUE(adaptive_stats.ok());
+  EXPECT_TRUE(adaptive_stats->pbsm_adaptive);
+  EXPECT_EQ(Sorted(adaptive_sink.pairs()), expected);
+
+  options.adaptive_partitioning = false;
+  CollectingSink fixed_sink;
+  auto fixed_stats = PBSMJoin(da, db, &td.disk, options, &fixed_sink);
+  ASSERT_TRUE(fixed_stats.ok());
+  EXPECT_FALSE(fixed_stats->pbsm_adaptive);
+  EXPECT_EQ(fixed_stats->pbsm_leaf_tiles,
+            fixed_stats->pbsm_tiles_x * fixed_stats->pbsm_tiles_y);
+  EXPECT_EQ(Sorted(fixed_sink.pairs()), expected);
+}
+
+TEST(PBSM, AttachedHistogramsSpareTheBuildPass) {
+  // With histograms attached the adaptive path must not re-scan the
+  // inputs for densities: its pages_read drop by at least the sampled
+  // histogram pass.
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const RectF region(0, 0, 300, 300);
+  const auto a = UniformRects(60000, region, 1.0f, 41);
+  const auto b = UniformRects(60000, region, 1.0f, 42);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+  GridHistogram hist_a(region, 64, 64), hist_b(region, 64, 64);
+  for (const RectF& r : a) hist_a.Add(r);
+  for (const RectF& r : b) hist_b.Add(r);
+
+  JoinOptions options;
+  options.memory_bytes = 256u << 10;
+  CountingSink without_sink, with_sink;
+  td.disk.ResetStats();
+  auto without = PBSMJoin(da, db, &td.disk, options, &without_sink);
+  ASSERT_TRUE(without.ok());
+  auto with = PBSMJoin(da, db, &td.disk, options, &with_sink, &hist_a,
+                       &hist_b);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(without_sink.count(), with_sink.count());
+  EXPECT_LT(with->disk.pages_read, without->disk.pages_read);
 }
 
 TEST(PBSM, EmptySideProducesNothing) {
@@ -139,6 +252,7 @@ TEST(PBSM, WritesReplicasOncePerPartition) {
   const DatasetRef db = MakeDataset(&td, b, "b", &keep);
   td.disk.ResetStats();
   JoinOptions options;
+  options.adaptive_partitioning = false;  // Fixed-grid replication story.
   options.memory_bytes = 64u << 10;
   CountingSink sink;
   auto stats = PBSMJoin(da, db, &td.disk, options, &sink);

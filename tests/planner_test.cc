@@ -242,5 +242,79 @@ TEST(PlannerThroughJoinQuery, PerQueryRefineAddsTheRefineTerm) {
   EXPECT_FALSE(joiner.options().refine);
 }
 
+// ---------------------------------------------------------------------------
+// The PBSM partitioning pre-plan: Explain must report the tile grid and
+// partition count execution would use, price the histogram-build pass
+// when adaptive planning has no histograms, and skip it when they are
+// attached (running the real PartitionPlanner instead).
+// ---------------------------------------------------------------------------
+
+TEST(PlannerPbsmPrePlan, ExplainReportsGridAndPartitions) {
+  TestDisk td;
+  SpatialJoiner joiner(&td.disk, JoinOptions());
+  const JoinInput a = PlanOnlyStream(4000000, RectF(0, 0, 100, 100));
+  const JoinInput b = PlanOnlyStream(4000000, RectF(0, 0, 100, 100));
+
+  // Adaptive (default), no histograms: formula-derived grid + a priced
+  // histogram pass.
+  auto adaptive = JoinQuery(joiner).Input(a).Input(b).Explain();
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->pbsm_adaptive);
+  EXPECT_GT(adaptive->pbsm_partitions, 0u);
+  EXPECT_GT(adaptive->pbsm_tiles_per_axis, 0u);
+  EXPECT_GT(adaptive->histogram_build_seconds, 0.0);
+  EXPECT_GT(adaptive->pbsm_cost_seconds, adaptive->histogram_build_seconds);
+  EXPECT_NE(adaptive->Describe().find("PBSM adaptive"), std::string::npos);
+  EXPECT_NE(adaptive->Describe().find("partitions"), std::string::npos);
+
+  // Fixed-grid escape hatch: the configured tile count, no histogram
+  // pass.
+  auto fixed = JoinQuery(joiner)
+                   .Input(a)
+                   .Input(b)
+                   .AdaptivePartitioning(false)
+                   .Explain();
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_FALSE(fixed->pbsm_adaptive);
+  EXPECT_EQ(fixed->pbsm_tiles_per_axis, joiner.options().pbsm_tiles_per_axis);
+  EXPECT_EQ(fixed->histogram_build_seconds, 0.0);
+  // Bin-packing plans balance, so the adaptive fill target is higher and
+  // the partition count never exceeds the fixed path's.
+  EXPECT_GT(fixed->pbsm_partitions, 1u);
+  EXPECT_LE(adaptive->pbsm_partitions, fixed->pbsm_partitions);
+  EXPECT_NE(fixed->Describe().find("PBSM fixed"), std::string::npos);
+}
+
+TEST(PlannerPbsmPrePlan, AttachedHistogramsRunTheRealPlanner) {
+  TestDisk td;
+  SpatialJoiner joiner(&td.disk, JoinOptions());
+  const RectF extent(0, 0, 100, 100);
+  const JoinInput a = PlanOnlyStream(400000, extent);
+  const JoinInput b = PlanOnlyStream(400000, extent);
+  // Hot-corner histograms: the planner should split tiles, so the leaf
+  // count exceeds the base grid.
+  GridHistogram hist_a(extent, 128, 128), hist_b(extent, 128, 128);
+  for (const RectF& r : UniformRects(400000, RectF(0, 0, 5, 5), 0.1f, 91)) {
+    hist_a.Add(r);
+  }
+  for (const RectF& r : UniformRects(400000, RectF(0, 0, 5, 5), 0.1f, 92)) {
+    hist_b.Add(r);
+  }
+
+  auto explained = JoinQuery(joiner)
+                       .Input(a)
+                       .Input(b)
+                       .WithHistogram(0, &hist_a)
+                       .WithHistogram(1, &hist_b)
+                       .MemoryBytes(1u << 20)
+                       .Explain();
+  ASSERT_TRUE(explained.ok());
+  EXPECT_TRUE(explained->pbsm_adaptive);
+  EXPECT_EQ(explained->histogram_build_seconds, 0.0);
+  EXPECT_GT(explained->pbsm_partitions, 1u);
+  EXPECT_GT(explained->pbsm_leaf_tiles,
+            explained->pbsm_tiles_per_axis * explained->pbsm_tiles_per_axis);
+}
+
 }  // namespace
 }  // namespace sj
