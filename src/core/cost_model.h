@@ -4,8 +4,10 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "geometry/rect.h"
 #include "io/disk_model.h"
 #include "io/machine_model.h"
+#include "sort/run_layout.h"
 
 namespace sj {
 
@@ -34,10 +36,38 @@ class CostModel {
     return 3.0 + 2.0 * machine_.write_factor;
   }
 
-  /// Modeled seconds for SSSJ over `pages` total input pages.
+  /// Modeled seconds for SSSJ over `pages` total input pages, assuming
+  /// the single merge pass of a comfortable memory budget.
   double SSSJSeconds(uint64_t pages) const {
     const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
     return static_cast<double>(pages) * StreamingPassFactor() * seq;
+  }
+
+  /// SSSJ priced at its *granted* sort memory: under a tight budget the
+  /// external sort needs extra merge passes (each one more read plus one
+  /// more write over the data), which is what shifts the kAuto
+  /// streaming-vs-index crossover when memory is scarce. With one merge
+  /// pass this equals SSSJSeconds(pages).
+  double SSSJSeconds(uint64_t pages, size_t sort_memory_bytes) const {
+    const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
+    const double extra =
+        static_cast<double>(ExtraMergePasses(pages, sort_memory_bytes)) *
+        (1.0 + machine_.write_factor);
+    return static_cast<double>(pages) * (StreamingPassFactor() + extra) * seq;
+  }
+
+  /// Merge passes beyond the first that sorting `pages` of RectF records
+  /// within `sort_memory_bytes` requires (0 in the comfortable regime).
+  uint64_t ExtraMergePasses(uint64_t pages, size_t sort_memory_bytes) const {
+    const RunLayout layout = RunLayout::For(sort_memory_bytes, sizeof(RectF));
+    const uint64_t run_bytes = layout.run_records * sizeof(RectF);
+    uint64_t runs = (pages * kPageSize + run_bytes - 1) / run_bytes;
+    uint64_t passes = 0;
+    while (runs > 1) {
+      runs = (runs + layout.fan_in - 1) / layout.fan_in;
+      passes++;
+    }
+    return passes > 0 ? passes - 1 : 0;
   }
 
   /// Modeled seconds for one sequential scan over `pages` pages — the

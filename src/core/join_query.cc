@@ -39,6 +39,11 @@ JoinQuery& JoinQuery::WithFeatures(size_t index, const FeatureStore* store) {
 
 Status JoinQuery::ApplyDistanceTransform(CompiledPlan& plan) {
   const double eps = plan.predicate.epsilon;
+  // The transform's buffers (collected rectangles, and for ST the
+  // expanded side's bulk-load sort) are governed like everything else.
+  MemoryGrant transform_grant = plan.arbiter->AcquireShrinkable(
+      grants::kRTreeBulkLoad, plan.options.memory_bytes / 2,
+      RunLayout::kMinSortMemoryBytes);
   // Expand the side that avoids disturbing an index when possible: a
   // stream side if there is one, else side 1 (rebuilt below when the
   // forced algorithm needs the index back).
@@ -55,6 +60,7 @@ Status JoinQuery::ApplyDistanceTransform(CompiledPlan& plan) {
     while (std::optional<RectF> r = reader.Next()) rects.push_back(*r);
   }
   for (RectF& r : rects) r = ExpandRectForDistance(r, eps);
+  transform_grant.NoteUsage(rects.size() * sizeof(RectF));
 
   auto pager = MakeMemoryPager(plan.disk, "distance.expanded");
   StreamWriter<RectF> writer(pager.get());
@@ -77,7 +83,7 @@ Status JoinQuery::ApplyDistanceTransform(CompiledPlan& plan) {
         RTree tree,
         RTree::BulkLoadHilbert(tree_pager.get(), expanded.range,
                                scratch.get(), params,
-                               plan.options.memory_bytes));
+                               transform_grant.bytes()));
     plan.owned_trees.push_back(std::make_unique<RTree>(std::move(tree)));
     replacement = JoinInput::FromRTree(plan.owned_trees.back().get());
     plan.owned_pagers.push_back(std::move(tree_pager));
@@ -100,6 +106,20 @@ Result<CompiledPlan> JoinQuery::Compile(bool multiway, bool plan_only) {
   plan.disk = joiner_->disk();
   plan.options = options_;
   plan.predicate = predicate_;
+
+  // Absurdly small budgets used to flow into divisions downstream; the
+  // floor is kMinMemoryBytes (64 KiB), below which the component floors
+  // no longer fit together.
+  if (options_.memory_bytes < kMinMemoryBytes) {
+    return Status::FailedPrecondition(
+        "memory budget " + std::to_string(options_.memory_bytes) +
+        " B is below the supported floor of " +
+        std::to_string(kMinMemoryBytes) +
+        " B (kMinMemoryBytes, 64 KiB); raise JoinQuery::MemoryBytes / "
+        "JoinOptions::memory_bytes");
+  }
+  plan.arbiter = std::make_shared<MemoryArbiter>(
+      options_.memory_bytes, options_.strict_memory_accounting);
 
   if (multiway) {
     if (inputs_.size() < 2) {
@@ -173,6 +193,9 @@ Result<CompiledPlan> JoinQuery::Compile(bool multiway, bool plan_only) {
                       /*exact_pbsm_preplan=*/plan_only);
     if (algorithm_ != JoinAlgorithm::kAuto) {
       plan.decision.algorithm = algorithm_;
+      plan.decision.memory = PlanJoinMemory(
+          algorithm_, plan.options,
+          (plan.inputs[0].count() + plan.inputs[1].count()) * sizeof(RectF));
       plan.decision.rationale =
           std::string("algorithm forced to ") + ToString(algorithm_) +
           " by the query";
@@ -210,6 +233,7 @@ Result<JoinStats> JoinQuery::Run(JoinSink* sink) {
     SJ_ASSIGN_OR_RETURN(JoinStats stats, executor->Execute(plan, sink));
     stats.candidate_count = stats.output_count;
     FoldCompileOverhead(plan, &stats);
+    FillMemoryStats(*plan.arbiter, &stats);
     return stats;
   }
   // Filter step: the MBR join buffers candidates; refinement resolves
@@ -221,20 +245,28 @@ Result<JoinStats> JoinQuery::Run(JoinSink* sink) {
       RefineStats refined,
       RefinePairs(candidates.pairs(), *plan.inputs[0].features(),
                   *plan.inputs[1].features(), plan.options, sink,
-                  plan.predicate));
+                  plan.predicate, plan.arbiter.get()));
   stats.candidate_count = refined.candidates;
   stats.output_count = refined.results;
   stats.refine_pages_read = refined.pages_read;
   stats.disk += refined.disk;
   stats.host_cpu_seconds += refine_cpu.Elapsed() + refined.host_cpu_seconds;
   FoldCompileOverhead(plan, &stats);
+  FillMemoryStats(*plan.arbiter, &stats);
   return stats;
 }
 
 Result<MultiwayStats> JoinQuery::Run(TupleSink* sink) {
   SJ_ASSIGN_OR_RETURN(CompiledPlan plan, Compile(/*multiway=*/true));
+  auto fill_memory = [&plan](MultiwayStats* stats) {
+    stats->peak_memory_bytes = plan.arbiter->peak_bytes();
+    stats->memory_components = plan.arbiter->ComponentStats();
+  };
   if (!plan.options.refine) {
-    return ExecuteMultiwayFilter(plan, sink);
+    SJ_ASSIGN_OR_RETURN(MultiwayStats stats,
+                        ExecuteMultiwayFilter(plan, sink));
+    fill_memory(&stats);
+    return stats;
   }
   std::vector<const FeatureStore*> stores;
   stores.reserve(plan.inputs.size());
@@ -247,12 +279,14 @@ Result<MultiwayStats> JoinQuery::Run(TupleSink* sink) {
   ThreadCpuTimer refine_cpu;
   SJ_ASSIGN_OR_RETURN(
       RefineStats refined,
-      RefineTuples(candidates.tuples(), stores, plan.options, sink));
+      RefineTuples(candidates.tuples(), stores, plan.options, sink,
+                   plan.arbiter.get()));
   stats.candidate_count = refined.candidates;
   stats.output_count = refined.results;
   stats.refine_pages_read = refined.pages_read;
   stats.disk += refined.disk;
   stats.host_cpu_seconds += refine_cpu.Elapsed() + refined.host_cpu_seconds;
+  fill_memory(&stats);
   return stats;
 }
 

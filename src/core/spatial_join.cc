@@ -29,6 +29,15 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
                                  bool exact_pbsm_preplan) const {
   PlanDecision decision;
   const uint64_t total_pages = a.pages() + b.pages();
+  const uint64_t total_bytes_est = (a.count() + b.count()) * sizeof(RectF);
+
+  // Memory planning first: every cost below is priced at the *granted*
+  // memory, not the raw knob — under a tight budget the streaming plans
+  // pay extra external-sort merge passes, which shifts the kAuto
+  // streaming-vs-index crossover.
+  const MemoryPlan sssj_memory =
+      PlanJoinMemory(JoinAlgorithm::kSSSJ, options, total_bytes_est);
+  const size_t sort_grant = sssj_memory.GrantFor(grants::kSortRuns);
 
   // Estimate the fraction of each side a traversal touches: prefer
   // histogram mass, fall back to extent overlap area ratio.
@@ -58,7 +67,8 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
         options.refine_batch_pairs);
   }
   decision.stream_cost_seconds =
-      cost_model_.SSSJSeconds(total_pages) + decision.refine_cost_seconds;
+      cost_model_.SSSJSeconds(total_pages, sort_grant) +
+      decision.refine_cost_seconds;
 
   // PBSM partitioning pre-plan, so Explain() reports the grid execution
   // would use. The partition-count formula is shared with PBSMJoin; when
@@ -127,13 +137,21 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
                                  decision.refine_cost_seconds;
   }
 
+  // The chosen algorithm's grant breakdown, reported by Explain() and
+  // mirrored by the executors' live grants.
+  auto finalize = [&](PlanDecision d) {
+    d.memory = PlanJoinMemory(d.algorithm, options, total_bytes_est);
+    return d;
+  };
+
   if (!a.indexed() && !b.indexed()) {
     decision.algorithm = JoinAlgorithm::kSSSJ;
     decision.rationale = "no index available; SSSJ streams both inputs";
-    return decision;
+    return finalize(decision);
   }
   // Pages a PQ plan reads: touched part of each index, whole stream sides
-  // (which are also sorted: approximate with SSSJ-like handling per side).
+  // (which are also sorted: approximate with SSSJ-like handling per side,
+  // again at the granted sort memory).
   double index_cost = decision.refine_cost_seconds;
   double max_frac = 0.0;
   if (a.indexed()) {
@@ -141,14 +159,14 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
         static_cast<uint64_t>(frac_a * static_cast<double>(a.pages())));
     max_frac = std::max(max_frac, frac_a);
   } else {
-    index_cost += cost_model_.SSSJSeconds(a.pages());
+    index_cost += cost_model_.SSSJSeconds(a.pages(), sort_grant);
   }
   if (b.indexed()) {
     index_cost += cost_model_.PQSeconds(
         static_cast<uint64_t>(frac_b * static_cast<double>(b.pages())));
     max_frac = std::max(max_frac, frac_b);
   } else {
-    index_cost += cost_model_.SSSJSeconds(b.pages());
+    index_cost += cost_model_.SSSJSeconds(b.pages(), sort_grant);
   }
   decision.touched_fraction = max_frac;
   decision.index_cost_seconds = index_cost;
@@ -163,7 +181,7 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
     decision.rationale =
         "random index reads would cost more than streaming; ignoring index";
   }
-  return decision;
+  return finalize(decision);
 }
 
 Result<JoinStats> SpatialJoiner::Join(const JoinInput& a, const JoinInput& b,

@@ -44,4 +44,14 @@ void BufferPool::Clear() {
   frames_.clear();
 }
 
+void BufferPool::SetCapacity(size_t capacity_pages) {
+  SJ_CHECK(capacity_pages > 0) << "buffer pool needs at least one frame";
+  capacity_ = capacity_pages;
+  while (frames_.size() > capacity_) {
+    const FrameKey victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+}
+
 }  // namespace sj

@@ -44,6 +44,13 @@ class BufferPool {
   /// Drops all cached pages (stats are retained).
   void Clear();
 
+  /// Resizes the pool to `capacity_pages` (> 0), evicting LRU frames when
+  /// shrinking below the current working set. Complements the
+  /// grant-backed sizing in STJoin (which fixes the capacity at
+  /// construction from its "buffer.pool" grant): a long-lived pool can
+  /// track a grant that grows or shrinks mid-flight.
+  void SetCapacity(size_t capacity_pages);
+
   const BufferPoolStats& stats() const { return stats_; }
   size_t capacity_pages() const { return capacity_; }
   size_t cached_pages() const { return frames_.size(); }

@@ -5,7 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "join/partition_plan.h"
 #include "join/pbsm.h"
+#include "refine/refine.h"
 #include "join/pq_join.h"
 #include "join/sources.h"
 #include "join/sssj.h"
@@ -54,8 +56,86 @@ std::string PlanDecision::Describe() const {
     os << ", " << pbsm_partitions << " partitions, " << pbsm_cost_seconds
        << " s";
   }
+  if (!memory.empty()) os << "; mem " << memory.Describe();
   os << ") — " << rationale;
   return os.str();
+}
+
+MemoryPlan PlanJoinMemory(JoinAlgorithm algo, const JoinOptions& options,
+                          uint64_t input_bytes) {
+  MemoryPlan plan;
+  const size_t budget = std::max(options.memory_bytes, kMinMemoryBytes);
+  plan.budget_bytes = budget;
+  auto add = [&plan](const char* component, size_t bytes) {
+    plan.grants.push_back(MemoryGrantSpec{component, bytes});
+  };
+  switch (algo) {
+    case JoinAlgorithm::kAuto:
+      break;  // Resolves to a concrete algorithm at plan time.
+    case JoinAlgorithm::kSSSJ:
+      // Each side sorts within half the budget (phases are sequential);
+      // the sweep grant follows the executor's square-root active-set
+      // estimate — when even that exceeds the budget, SSSJ degrades to
+      // the strip fallback.
+      add(grants::kSortRuns, budget / 2);
+      add(grants::kSweep,
+          std::min<size_t>(EstimateSweepBytes(input_bytes / sizeof(RectF)),
+                           budget));
+      break;
+    case JoinAlgorithm::kPBSM: {
+      const uint32_t p =
+          options.adaptive_partitioning
+              ? PbsmPartitionCount(input_bytes, budget,
+                                   PartitionPlannerConfig().partition_fill)
+              : PbsmPartitionCount(input_bytes, budget);
+      if (options.adaptive_partitioning) {
+        const uint64_t res = std::max(1u, options.pbsm_histogram_resolution);
+        add(grants::kPbsmHistogram,
+            std::min<uint64_t>(2 * res * res * sizeof(uint64_t), budget));
+      }
+      // One open writer per partition and side during distribution,
+      // with the partition map's preferred flush block: the adaptive
+      // planner budgets most of the phase's memory across the 2p
+      // writers (PbsmWriterBlockPages, shared with AdaptivePartitionMap),
+      // the fixed grid keeps the paper's 4-page constant. The executor
+      // shrinks the blocks when the grant comes back smaller.
+      const uint64_t block_pages = options.adaptive_partitioning
+                                       ? PbsmWriterBlockPages(budget, p)
+                                       : 4;
+      add(grants::kPbsmWriters,
+          std::min<size_t>(budget,
+                           size_t{2} * p * block_pages * kPageSize));
+      // The join phase loads one partition pair at a time (per
+      // serial-equivalent work unit); denial is the overflow signal that
+      // routes the pair through the external-sort fallback.
+      add(grants::kPbsmPartition, budget);
+      break;
+    }
+    case JoinAlgorithm::kST:
+      // The paper gives most of the budget to the shared LRU pool (22 of
+      // 24 MB); the pool shrinks to its grant under smaller budgets, the
+      // remainder covers the per-node entry lists.
+      add(grants::kBufferPool,
+          std::min<size_t>(options.buffer_pool_pages * kPageSize,
+                           budget - std::min(budget, kPageSize * 2)));
+      break;
+    case JoinAlgorithm::kPQ:
+      // Traversal queues + leaf buffers on one grant, sweep structures
+      // on the other (half the budget apiece, exactly what
+      // PQJoinSources acquires); a stream side additionally sorts
+      // within half the budget before the queues exist.
+      add(grants::kSortRuns, budget / 2);
+      add(grants::kPqQueue, budget / 2);
+      add(grants::kSweep, budget - budget / 2);
+      break;
+  }
+  if (options.refine) {
+    add(grants::kRefineBatch,
+        std::min<size_t>(budget / 4,
+                         size_t{std::max(1u, options.refine_batch_pairs)} *
+                             kRefineBytesPerCandidate));
+  }
+  return plan;
 }
 
 std::ostream& operator<<(std::ostream& os, const PlanDecision& decision) {
@@ -139,7 +219,8 @@ Result<PreparedSource> PrepareSource(CompiledPlan& plan,
           StreamRange sorted,
           SortRectsByYLo(input.stream().range, prepared.scratch.get(),
                          prepared.sorted.get(),
-                         plan.options.memory_bytes / 2));
+                         plan.options.memory_bytes / 2,
+                         plan.arbiter.get()));
       prepared.source = std::make_unique<SortedStreamSource>(sorted);
       return prepared;
     }
@@ -182,7 +263,7 @@ class SSSJExecutor final : public StreamAlgorithmExecutor {
   Result<JoinStats> ExecuteStreams(CompiledPlan& plan, const DatasetRef& a,
                                    const DatasetRef& b,
                                    JoinSink* sink) const override {
-    return SSSJJoin(a, b, plan.disk, plan.options, sink);
+    return SSSJJoin(a, b, plan.disk, plan.options, sink, plan.arbiter.get());
   }
 };
 
@@ -199,7 +280,8 @@ class PBSMExecutor final : public StreamAlgorithmExecutor {
     // (The compile step clears them when an ε-expansion makes them
     // stale, so PBSM then re-derives density from the expanded stream.)
     return PBSMJoin(a, b, plan.disk, plan.options, sink,
-                    plan.prune_histogram(0), plan.prune_histogram(1));
+                    plan.prune_histogram(0), plan.prune_histogram(1),
+                    plan.arbiter.get());
   }
 };
 
@@ -219,7 +301,7 @@ class STExecutor final : public JoinExecutor {
 
   Result<JoinStats> Execute(CompiledPlan& plan, JoinSink* sink) const override {
     return STJoin(*plan.inputs[0].rtree(), *plan.inputs[1].rtree(), plan.disk,
-                  plan.options, sink);
+                  plan.options, sink, plan.arbiter.get());
   }
 };
 
@@ -244,7 +326,7 @@ class PQExecutor final : public JoinExecutor {
     SJ_ASSIGN_OR_RETURN(
         JoinStats stats,
         PQJoinSources(sa.source.get(), sb.source.get(), extent, plan.disk,
-                      plan.options, sink));
+                      plan.options, sink, plan.arbiter.get()));
     stats.index_pages_read = sa.index_pages_read() + sb.index_pages_read();
     return stats;
   }
@@ -293,6 +375,18 @@ Result<MultiwayStats> ExecuteMultiwayFilter(CompiledPlan& plan,
     prepared.push_back(std::move(p));
     extent.ExtendTo(input.extent());
   }
+  // The chain's in-memory state (sweep structures, lazy pair tables,
+  // traversal queues) runs under one grant; its sampled maximum
+  // (MultiwayStats::max_bytes) is reported as usage, so a strict
+  // arbiter aborts when a k-way chain outgrows the budget.
+  MemoryGrant chain_grant;
+  if (plan.arbiter != nullptr) {
+    chain_grant = plan.arbiter->AcquireShrinkable(
+        grants::kSweep, plan.arbiter->budget() / 2, /*floor_bytes=*/0);
+  }
+  auto note_chain = [&chain_grant](const MultiwayStats& stats) {
+    chain_grant.NoteUsage(stats.max_bytes);
+  };
   if (plan.options.num_threads > 1) {
     // Parallel path: materialize every prepared source as a y-sorted
     // stream (index traversals included), then strip-partition the
@@ -328,6 +422,7 @@ Result<MultiwayStats> ExecuteMultiwayFilter(CompiledPlan& plan,
     stats.disk += materialize.disk;
     stats.host_cpu_seconds += materialize.host_cpu_seconds;
     stats.candidate_count = stats.output_count;
+    note_chain(stats);
     return stats;
   }
   std::vector<SortedRectSource*> sources;
@@ -337,6 +432,7 @@ Result<MultiwayStats> ExecuteMultiwayFilter(CompiledPlan& plan,
       MultiwayStats stats,
       MultiwayJoinSources(sources, extent, plan.disk, plan.options, sink));
   stats.candidate_count = stats.output_count;
+  note_chain(stats);
   return stats;
 }
 

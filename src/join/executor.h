@@ -117,10 +117,17 @@ struct PlanDecision {
   /// histogram pass + refinement term), for comparison against the
   /// stream/index costs above.
   double pbsm_cost_seconds = 0.0;
+  /// The memory shape of the chosen algorithm under the query's budget:
+  /// which components will be granted how much (the executors acquire
+  /// the live grants with the same names and arithmetic). The stream and
+  /// index costs above are priced at these *granted* sizes — a tight
+  /// budget adds external-sort merge passes to the streaming plans and
+  /// can flip the kAuto decision toward the index.
+  MemoryPlan memory;
   std::string rationale;
 
   /// One human-readable line: algorithm, touched fraction, both plan
-  /// costs, and the rationale.
+  /// costs, the grant breakdown, and the rationale.
   std::string Describe() const;
 };
 
@@ -150,6 +157,12 @@ struct CompiledPlan {
   /// The planner's decision for pairwise plans (decision.algorithm is the
   /// algorithm to execute; for forced algorithms the rationale says so).
   PlanDecision decision;
+  /// The query's memory governor: every executor draws its grants from
+  /// here (and threads it into the algorithm layer), so one budget bounds
+  /// the whole execution — filter, spills, refinement — and the stats
+  /// report one coherent peak. Created by the compile step from the
+  /// effective options.
+  std::shared_ptr<MemoryArbiter> arbiter;
   /// I/O and CPU the compile step itself spent (ε-expansion passes,
   /// expanded-tree rebuilds); folded into the query's reported stats.
   DiskStats compile_disk;
@@ -215,6 +228,15 @@ class ExecutorRegistry {
 
 /// Convenience wrapper over ExecutorRegistry::Instance().Find().
 const JoinExecutor* FindExecutor(JoinAlgorithm algo);
+
+/// The memory planner: carves a (floor-clamped) JoinOptions::memory_bytes
+/// budget into the component grants `algo` will acquire, for an input of
+/// `input_bytes` total MBR records. Used by SpatialJoiner::Plan (so
+/// Explain() reports the breakdown and the cost model prices plans at
+/// their granted memory) and mirrored by the executors' live Acquire
+/// calls.
+MemoryPlan PlanJoinMemory(JoinAlgorithm algo, const JoinOptions& options,
+                          uint64_t input_bytes);
 
 /// The k-way filter execution (§4's extension): every plan.inputs entry
 /// becomes a sorted source (selective index traversals included) feeding

@@ -19,16 +19,32 @@ std::string JoinStats::Describe() const {
     os << "; sweep max " << (max_sweep_bytes + 1023) / 1024 << " KB";
   }
   if (partitions_total > 0) {
-    os << "; " << (pbsm_adaptive ? "adaptive" : "fixed") << " "
-       << pbsm_tiles_x << "x" << pbsm_tiles_y << " grid";
-    if (pbsm_split_tiles > 0) {
-      os << " (" << pbsm_leaf_tiles << " leaves, " << pbsm_split_tiles
-         << " split)";
+    // SSSJ's strip fallback partitions without a PBSM tile grid.
+    if (pbsm_tiles_x > 0) {
+      os << "; " << (pbsm_adaptive ? "adaptive" : "fixed") << " "
+         << pbsm_tiles_x << "x" << pbsm_tiles_y << " grid";
+      if (pbsm_split_tiles > 0) {
+        os << " (" << pbsm_leaf_tiles << " leaves, " << pbsm_split_tiles
+           << " split)";
+      }
+      os << ", " << partitions_total << " partitions";
+    } else {
+      os << "; " << partitions_total << " strips";
     }
-    os << ", " << partitions_total << " partitions";
     if (partitions_overflowed > 0) {
       os << " (" << partitions_overflowed << " overflowed)";
     }
+  }
+  if (peak_memory_bytes > 0) {
+    os << "; peak mem " << (peak_memory_bytes + 1023) / 1024 << " KB";
+    const char* sep = " (";
+    for (const MemoryComponentStats& c : memory_components) {
+      os << sep << c.component << " "
+         << (std::max(c.granted_high_water, c.used_high_water) + 1023) / 1024
+         << " KB";
+      sep = ", ";
+    }
+    if (!memory_components.empty()) os << ")";
   }
   return os.str();
 }

@@ -1,11 +1,14 @@
 #ifndef USJ_JOIN_JOIN_TYPES_H_
 #define USJ_JOIN_JOIN_TYPES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/memory_arbiter.h"
 #include "geometry/rect.h"
 #include "io/buffer_pool.h"
 #include "io/disk_model.h"
@@ -28,8 +31,16 @@ struct DatasetRef {
 /// Knobs shared by all join algorithms (paper defaults).
 struct JoinOptions {
   /// Internal memory available to an algorithm (the paper's machines had
-  /// 24 MB free; ST gives 22 MB of it to the buffer pool).
+  /// 24 MB free; ST gives 22 MB of it to the buffer pool). This is the
+  /// per-query budget the MemoryArbiter carves into component grants
+  /// (core/memory_arbiter.h); the query layer rejects budgets below
+  /// kMinMemoryBytes (64 KiB) with FailedPrecondition, and direct
+  /// algorithm calls clamp up to that floor.
   size_t memory_bytes = 24u << 20;
+  /// Debug aid: a strict MemoryArbiter aborts (SJ_CHECK) when a component
+  /// reports usage above its grant — ungoverned allocation — instead of
+  /// just recording the overshoot in the high-water marks.
+  bool strict_memory_accounting = false;
   /// LRU pool capacity for ST, in pages (22 MB of 8 KB pages).
   size_t buffer_pool_pages = BufferPool::kPaperCapacityPages;
   /// Interval structure for the streaming sweeps (SSSJ, PQ). The paper
@@ -119,6 +130,13 @@ struct JoinStats {
   uint32_t pbsm_leaf_tiles = 0;
   uint32_t pbsm_split_tiles = 0;
   bool pbsm_adaptive = false;
+  /// Memory governance (core/memory_arbiter.h): high-water mark of the
+  /// arbiter's concurrently granted bytes — the serial-equivalent peak
+  /// footprint, identical for every thread count — plus the
+  /// per-component granted/used high-water marks. peak_memory_bytes
+  /// never exceeds the (floor-clamped) options.memory_bytes budget.
+  size_t peak_memory_bytes = 0;
+  std::vector<MemoryComponentStats> memory_components;
   /// Filter-and-refine split: candidate_count is the MBR filter's output.
   /// Without refinement it equals output_count; with options.refine the
   /// exact results land in output_count and refine_pages_read counts the
@@ -230,6 +248,36 @@ class JoinMeasurement {
   DiskStats start_disk_;
   ThreadCpuTimer cpu_;
 };
+
+/// Arbiter plumbing shared by the join algorithms: uses the caller's
+/// arbiter when one is passed (the JoinQuery pipeline hands down the
+/// per-query arbiter), otherwise owns a fresh one over the options'
+/// floor-clamped budget — so directly-called algorithms are governed too.
+class ArbiterScope {
+ public:
+  ArbiterScope(MemoryArbiter* external, const JoinOptions& options)
+      : owned_(external == nullptr
+                   ? std::make_unique<MemoryArbiter>(
+                         std::max(options.memory_bytes, kMinMemoryBytes),
+                         options.strict_memory_accounting)
+                   : nullptr),
+        arbiter_(external != nullptr ? external : owned_.get()) {}
+
+  MemoryArbiter* get() const { return arbiter_; }
+  MemoryArbiter* operator->() const { return arbiter_; }
+  MemoryArbiter& operator*() const { return *arbiter_; }
+
+ private:
+  std::unique_ptr<MemoryArbiter> owned_;
+  MemoryArbiter* arbiter_;
+};
+
+/// Copies an arbiter's peak and per-component high-water marks into
+/// `stats` (done by every algorithm just before returning).
+inline void FillMemoryStats(const MemoryArbiter& arbiter, JoinStats* stats) {
+  stats->peak_memory_bytes = arbiter.peak_bytes();
+  stats->memory_components = arbiter.ComponentStats();
+}
 
 /// Computes the extent of a dataset if its descriptor lacks one (extra
 /// scan, charged).

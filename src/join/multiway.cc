@@ -24,6 +24,9 @@ std::string MultiwayStats::Describe() const {
   os << "; " << disk.pages_read << " pages read, " << disk.pages_written
      << " written; peak in-memory state "
      << (max_bytes + 1023) / 1024 << " KB";
+  if (peak_memory_bytes > 0) {
+    os << "; peak mem " << (peak_memory_bytes + 1023) / 1024 << " KB granted";
+  }
   return os.str();
 }
 

@@ -71,6 +71,10 @@ struct MultiwayStats {
   /// refinement, and feature-store pages the refinement step fetched.
   uint64_t candidate_count = 0;
   uint64_t refine_pages_read = 0;
+  /// Memory governance (see JoinStats): the arbiter's granted peak and
+  /// per-component high-water marks for the whole k-way pipeline.
+  size_t peak_memory_bytes = 0;
+  std::vector<MemoryComponentStats> memory_components;
 
   /// One human-readable line of the machine-independent counters.
   std::string Describe() const;

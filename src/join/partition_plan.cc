@@ -31,6 +31,17 @@ uint32_t PbsmPartitionCount(uint64_t total_bytes, size_t memory_bytes,
       std::max<uint64_t>(1, (total_bytes + budget - 1) / budget));
 }
 
+uint32_t PbsmWriterBlockPages(size_t memory_bytes, uint32_t partitions) {
+  // 7/8 of the memory budget split across the 2p open partition writers
+  // (the rest covers the distribution read block; the planner's
+  // histograms are released before distribution starts), clamped to the
+  // stream block the sequential passes use.
+  return static_cast<uint32_t>(std::clamp<uint64_t>(
+      static_cast<uint64_t>(memory_bytes) * 7 / 8 /
+          (static_cast<uint64_t>(2) * std::max(1u, partitions) * kPageSize),
+      4, kStreamBlockPages));
+}
+
 uint32_t AdaptiveBaseTilesPerAxis(uint32_t partitions) {
   // Several times more base tiles than partitions so bin-packing has room
   // to balance; coarse overall because splits refine the hot regions.
@@ -256,17 +267,12 @@ std::unique_ptr<AdaptivePartitionMap> PartitionPlanner::Plan(
     if (weights[a] != weights[b]) return weights[a] > weights[b];
     return a < b;
   });
-  // Distribution write buffering: 7/8 of the memory budget split across
-  // the 2p open partition writers (the rest covers the distribution read
-  // block; the planner's histograms are released before distribution
-  // starts), clamped to the stream block the sequential passes use.
-  // Balanced partitions defeat the drive's sequential-stream detection
-  // during distribution, so fewer, larger flushes are what keeps the
-  // adaptive plan's write pass cheap.
-  map->writer_block_pages_ = static_cast<uint32_t>(std::clamp<uint64_t>(
-      config.memory_bytes * 7 / 8 /
-          (static_cast<uint64_t>(2) * partitions * kPageSize),
-      4, kStreamBlockPages));
+  // Distribution write buffering (see PbsmWriterBlockPages): balanced
+  // partitions defeat the drive's sequential-stream detection during
+  // distribution, so fewer, larger flushes are what keeps the adaptive
+  // plan's write pass cheap.
+  map->writer_block_pages_ = PbsmWriterBlockPages(config.memory_bytes,
+                                                  partitions);
 
   using Load = std::pair<double, uint32_t>;
   std::priority_queue<Load, std::vector<Load>, std::greater<Load>> heap;

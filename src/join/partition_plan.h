@@ -230,6 +230,13 @@ uint32_t PbsmPartitionCount(uint64_t total_bytes, size_t memory_bytes,
 /// bin-packing has room to balance.
 uint32_t AdaptiveBaseTilesPerAxis(uint32_t partitions);
 
+/// Flush-block pages the adaptive plan budgets per open distribution
+/// writer: most of the phase's memory spread across the 2p writers,
+/// clamped to [4, kStreamBlockPages]. One definition shared by
+/// AdaptivePartitionMap and the memory planner (PlanJoinMemory), so
+/// Explain()'s pbsm.writers line tracks what distribution acquires.
+uint32_t PbsmWriterBlockPages(size_t memory_bytes, uint32_t partitions);
+
 }  // namespace sj
 
 #endif  // USJ_JOIN_PARTITION_PLAN_H_

@@ -1,6 +1,7 @@
 #include "join/pbsm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -73,7 +74,9 @@ Result<std::vector<RectF>> ReadAll(const StreamRange& range) {
 Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
                            DiskModel* disk, const JoinOptions& options,
                            JoinSink* sink, const GridHistogram* hist_a,
-                           const GridHistogram* hist_b) {
+                           const GridHistogram* hist_b,
+                           MemoryArbiter* arbiter) {
+  const ArbiterScope scope(arbiter, options);
   JoinMeasurement measurement(disk);
   SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
 
@@ -92,7 +95,27 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
     // construction — so the density pass costs a fraction of a scan.
     constexpr uint32_t kSampleOneInBlocks = kPbsmHistogramSampleOneInBlocks;
     std::optional<GridHistogram> built_a, built_b;
-    const uint32_t res = std::max(1u, options.pbsm_histogram_resolution);
+    uint32_t res = std::max(1u, options.pbsm_histogram_resolution);
+    // Attached histograms are the caller's memory; only on-the-fly
+    // builds hold planner-side cells worth granting — and when the
+    // grant comes back smaller than the configured resolution's cells,
+    // the build resolution derates to fit (coarser planning evidence,
+    // never an over-allocation; 16 cells per axis is the floor where a
+    // histogram still says anything).
+    const size_t builds = (hist_a == nullptr ? size_t{1} : 0) +
+                          (hist_b == nullptr ? size_t{1} : 0);
+    MemoryGrant histogram_grant;
+    if (builds > 0) {
+      histogram_grant = scope->AcquireShrinkable(
+          grants::kPbsmHistogram,
+          builds * res * res * sizeof(uint64_t), /*floor_bytes=*/0);
+      const uint32_t fits = static_cast<uint32_t>(std::sqrt(
+          static_cast<double>(histogram_grant.bytes() /
+                              (builds * sizeof(uint64_t)))));
+      res = std::clamp(fits, std::min(16u, res), res);
+      histogram_grant.NoteUsage(builds * size_t{res} * res *
+                                sizeof(uint64_t));
+    }
     if (hist_a == nullptr) {
       auto built = GridHistogram::BuildSampled(a.range, extent, res, res,
                                                kSampleOneInBlocks);
@@ -123,15 +146,31 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   const PartitionMap& grid = *grid_owned;
   const uint32_t p = grid.partitions();
 
-  // Phase 1: distribute both inputs into partition files.
+  // Phase 1: distribute both inputs into partition files. The 2p open
+  // writers draw their flush blocks from one grant; when the budget
+  // cannot cover the map's preferred block size for all of them, the
+  // blocks shrink (more, smaller flushes — graceful, never over-budget).
+  // The floor (one page per open writer) is capped at the budget: with
+  // enormous partition counts even that is irreducible over-use, which
+  // then shows up as usage above the grant instead of a granted peak
+  // above the budget.
+  MemoryGrant writer_grant = scope->AcquireShrinkable(
+      grants::kPbsmWriters,
+      size_t{2} * p * grid.writer_block_pages() * kPageSize,
+      std::min<size_t>(size_t{2} * p * kPageSize, scope->budget()));
+  const uint32_t writer_block_pages = static_cast<uint32_t>(std::clamp<size_t>(
+      writer_grant.bytes() / (size_t{2} * p * kPageSize), 1,
+      grid.writer_block_pages()));
+  writer_grant.NoteUsage(size_t{2} * p * writer_block_pages * kPageSize);
   SJ_ASSIGN_OR_RETURN(
       std::vector<PartitionFile> files_a,
-      MakePartitionFiles(disk, "a", p, grid.writer_block_pages()));
+      MakePartitionFiles(disk, "a", p, writer_block_pages));
   SJ_ASSIGN_OR_RETURN(
       std::vector<PartitionFile> files_b,
-      MakePartitionFiles(disk, "b", p, grid.writer_block_pages()));
+      MakePartitionFiles(disk, "b", p, writer_block_pages));
   SJ_RETURN_IF_ERROR(DistributeInput(a, grid, &files_a));
   SJ_RETURN_IF_ERROR(DistributeInput(b, grid, &files_b));
+  writer_grant.Release();
 
   // Phase 2: join each partition with a plane sweep, suppressing
   // cross-partition duplicates via the reference-point test. Partition
@@ -143,6 +182,9 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   // output below are identical for every options.num_threads.
   struct PartitionTask {
     std::unique_ptr<DiskModel> disk;
+    /// Serial-equivalent memory scope (one partition pair at a time on
+    /// the paper's machine); folded as a max afterwards.
+    std::unique_ptr<MemoryArbiter> memory;
     std::unique_ptr<Pager> pager_a, pager_b;
     StreamRange range_a, range_b;
     CollectingSink sink;
@@ -158,9 +200,17 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   // so serial runs keep O(1) result buffering.
   const bool pooled = options.num_threads > 1 && p > 1;
   std::vector<PartitionTask> tasks(p);
+  // The per-task budget is the partition-phase budget the planner sized
+  // partitions for (the raw knob, not the query-floor-clamped budget):
+  // a pair above it overflows exactly as the partition count formula
+  // assumed, also for direct callers below kMinMemoryBytes.
+  const size_t partition_budget =
+      std::max(options.memory_bytes, RunLayout::kMinSortMemoryBytes);
   for (uint32_t i = 0; i < p; ++i) {
     PartitionTask& t = tasks[i];
     t.disk = std::make_unique<DiskModel>(disk->machine());
+    t.memory = std::make_unique<MemoryArbiter>(partition_budget,
+                                               scope->strict());
     t.pager_a = RehomePager(std::move(files_a[i].pager), t.disk.get());
     t.pager_b = RehomePager(std::move(files_b[i].pager), t.disk.get());
     t.range_a = StreamRange{t.pager_a.get(), files_a[i].range.first_page,
@@ -182,7 +232,11 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
         };
         SweepRunStats sweep_stats;
         t.part_bytes = (t.range_a.count + t.range_b.count) * sizeof(RectF);
-        if (t.part_bytes <= options.memory_bytes) {
+        // The partition pair's load is a grant; denial IS the overflow
+        // signal (previously an ad-hoc comparison against the raw knob).
+        Result<MemoryGrant> load =
+            t.memory->Acquire(grants::kPbsmPartition, t.part_bytes);
+        if (load.ok()) {
           SJ_ASSIGN_OR_RETURN(std::vector<RectF> ra, ReadAll(t.range_a));
           SJ_ASSIGN_OR_RETURN(std::vector<RectF> rb, ReadAll(t.range_b));
           std::sort(ra.begin(), ra.end(), OrderByYLo());
@@ -191,22 +245,25 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
           sweep_stats =
               SweepJoinWithKind(options.partition_sweep, extent,
                                 options.striped_strips, sa, sb, emit);
+          load->NoteUsage(t.part_bytes);
           // The deduplicating sweep may double-count in sweep_stats; the
           // sink's pair count is authoritative.
         } else {
           // Overflow fallback: external sort this partition and sweep the
-          // sorted streams.
+          // sorted streams (grant-governed through the task's arbiter).
           t.overflowed = true;
           auto scratch = MakeMemoryPager(t.disk.get(),
                                          "pbsm.overflow." + std::to_string(i));
           SJ_ASSIGN_OR_RETURN(
               StreamRange sa_range,
               SortRectsByYLo(t.range_a, scratch.get(), scratch.get(),
-                             options.memory_bytes / 2));
+                             options.memory_bytes / 2, t.memory.get()));
           SJ_ASSIGN_OR_RETURN(
               StreamRange sb_range,
               SortRectsByYLo(t.range_b, scratch.get(), scratch.get(),
-                             options.memory_bytes / 2));
+                             options.memory_bytes / 2, t.memory.get()));
+          MemoryGrant sweep_grant = t.memory->AcquireShrinkable(
+              grants::kSweep, t.part_bytes, /*floor_bytes=*/0);
           StreamReader<RectF> reader_a(sa_range.pager, sa_range.first_page,
                                        sa_range.count);
           StreamReader<RectF> reader_b(sb_range.pager, sb_range.first_page,
@@ -214,6 +271,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
           sweep_stats = SweepJoinWithKind(options.partition_sweep, extent,
                                           options.striped_strips, reader_a,
                                           reader_b, emit);
+          sweep_grant.NoteUsage(sweep_stats.max_structure_bytes);
         }
         t.max_sweep_bytes = sweep_stats.max_structure_bytes;
         t.cpu_seconds = cpu.Elapsed();
@@ -238,6 +296,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
     if (t.overflowed) overflowed++;
     worker_cpu += t.cpu_seconds;
     shard_disk += t.disk->stats();
+    scope->FoldChild(*t.memory);
   }
 
   JoinStats stats = measurement.Finish();
@@ -255,6 +314,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   stats.pbsm_leaf_tiles = grid.leaf_tiles();
   stats.pbsm_split_tiles = grid.split_tiles();
   stats.pbsm_adaptive = grid.adaptive();
+  FillMemoryStats(*scope, &stats);
   return stats;
 }
 

@@ -30,16 +30,21 @@ namespace sj {
 /// lower corner of r ∩ s, which both r and s necessarily overlap — so
 /// the output is exact and duplicate free under either partitioning.
 ///
-/// A partition whose contents exceed the memory budget falls back to an
-/// external sort + streaming sweep of that partition; the paper instead
-/// tuned the tile count (32^2 -> 128^2) to make overflows rare, which
+/// A partition pair acquires its load as a memory grant; a denied grant
+/// (contents exceed the budget) falls back to an external sort +
+/// streaming sweep of that partition. The paper instead tuned the tile
+/// count (32^2 -> 128^2) to make overflows rare, which
 /// bench_ablation_pbsm_tiles reproduces and bench_skew contrasts with
-/// the adaptive planner.
+/// the adaptive planner. Distribution writer blocks are granted too and
+/// shrink when the budget cannot cover 2p of the partition map's
+/// preferred flush block. `arbiter` is the query's memory governor;
+/// nullptr runs against a private one over the options' budget.
 Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
                            DiskModel* disk, const JoinOptions& options,
                            JoinSink* sink,
                            const GridHistogram* hist_a = nullptr,
-                           const GridHistogram* hist_b = nullptr);
+                           const GridHistogram* hist_b = nullptr,
+                           MemoryArbiter* arbiter = nullptr);
 
 }  // namespace sj
 

@@ -21,20 +21,31 @@ namespace sj {
 /// `extent` is the sweep domain (union of both inputs' extents);
 /// `max_queue_bytes` in the returned stats is the sampled maximum of the
 /// adapters' priority queues plus leaf buffers (Table 3).
+///
+/// Memory governance: the sweep structures and the source queues each
+/// hold a grant (half the budget apiece); their sampled maxima are
+/// reported as usage, so a strict arbiter aborts when an input defeats
+/// the paper's in-memory assumption instead of silently over-allocating.
+/// `arbiter` is the query's memory governor; nullptr runs against a
+/// private one over the options' budget.
 Result<JoinStats> PQJoinSources(SortedRectSource* a, SortedRectSource* b,
                                 const RectF& extent, DiskModel* disk,
-                                const JoinOptions& options, JoinSink* sink);
+                                const JoinOptions& options, JoinSink* sink,
+                                MemoryArbiter* arbiter = nullptr);
 
 /// Convenience wrapper: index-to-index PQ join.
 Result<JoinStats> PQJoin(const RTree& a, const RTree& b, DiskModel* disk,
-                         const JoinOptions& options, JoinSink* sink);
+                         const JoinOptions& options, JoinSink* sink,
+                         MemoryArbiter* arbiter = nullptr);
 
 /// Convenience wrapper: index-to-non-indexed PQ join. The stream input is
-/// externally sorted first (charged), exactly as SSSJ would.
+/// externally sorted first (charged, grant-governed), exactly as SSSJ
+/// would.
 Result<JoinStats> PQJoinIndexStream(const RTree& a, const DatasetRef& b,
                                     DiskModel* disk,
                                     const JoinOptions& options,
-                                    JoinSink* sink);
+                                    JoinSink* sink,
+                                    MemoryArbiter* arbiter = nullptr);
 
 }  // namespace sj
 

@@ -1,5 +1,6 @@
 #include "join/sssj.h"
 
+#include <cmath>
 #include <memory>
 
 #include "join/strip_map.h"
@@ -24,9 +25,43 @@ class StreamSource {
 
 }  // namespace
 
+size_t EstimateSweepBytes(uint64_t records) {
+  return static_cast<size_t>(
+             16.0 * std::sqrt(static_cast<double>(records)) + 64.0) *
+         sizeof(RectF);
+}
+
 Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
                            DiskModel* disk, const JoinOptions& options,
-                           JoinSink* sink) {
+                           JoinSink* sink, MemoryArbiter* arbiter) {
+  const ArbiterScope scope(arbiter, options);
+
+  // Spill decision before any I/O: size the sweep grant by the paper's
+  // square-root rule (Table 3 verifies the active sets stay near sqrt(N)
+  // on real data), padded with a safety factor. When even that estimate
+  // exceeds what the arbiter can grant, degrade to the paper's
+  // single-dimension partitioning fallback with enough strips that one
+  // strip's share fits — instead of over-allocating and hoping. Inputs
+  // whose active sets defeat the estimate at run time are recorded in
+  // the usage high-water marks (and abort a strict arbiter).
+  const uint64_t est_sweep_bytes = EstimateSweepBytes(a.count() + b.count());
+  {
+    MemoryGrant probe = scope->AcquireShrinkable(grants::kSweep,
+                                                 est_sweep_bytes,
+                                                 /*floor_bytes=*/0);
+    if (probe.bytes() < est_sweep_bytes) {
+      probe.Release();
+      const size_t budget = std::max<size_t>(1, scope->budget());
+      const uint32_t strips = static_cast<uint32_t>(std::clamp<uint64_t>(
+          (2 * est_sweep_bytes + budget - 1) / budget, 2, 512));
+      return SSSJStripJoin(a, b, strips, disk, options, sink, scope.get());
+    }
+    // Released here so the sort phase gets the whole budget (both
+    // sorters at memory/2, also in the fused path where they are alive
+    // together); the sweep re-acquires its share once the sorters are
+    // gone.
+  }
+
   JoinMeasurement measurement(disk);
   SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
 
@@ -42,15 +77,24 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
 
   if (options.fuse_merge_sweep) {
     // Ablation: merge the runs straight into the sweep. Saves one write
-    // and one read pass per input.
+    // and one read pass per input. The sorters' run grants are released
+    // before the sweep acquires its own; the merge readers keep only
+    // their small blocks.
     const size_t half = options.memory_bytes / 2;
-    ExternalSorter<RectF, OrderByYLo> sorter_a(half, runs_a.get());
-    ExternalSorter<RectF, OrderByYLo> sorter_b(half, runs_b.get());
     std::vector<StreamRange> ra, rb;
-    SJ_RETURN_IF_ERROR(sorter_a.FormRuns(a.range, &ra));
-    SJ_RETURN_IF_ERROR(sorter_b.FormRuns(b.range, &rb));
-    SJ_CHECK(ra.size() <= sorter_a.MaxFanIn() && rb.size() <= sorter_b.MaxFanIn())
-        << "fused SSSJ requires a single merge pass";
+    {
+      ExternalSorter<RectF, OrderByYLo> sorter_a(half, runs_a.get(),
+                                                 OrderByYLo(), scope.get());
+      ExternalSorter<RectF, OrderByYLo> sorter_b(half, runs_b.get(),
+                                                 OrderByYLo(), scope.get());
+      SJ_RETURN_IF_ERROR(sorter_a.FormRuns(a.range, &ra));
+      SJ_RETURN_IF_ERROR(sorter_b.FormRuns(b.range, &rb));
+      SJ_CHECK(ra.size() <= sorter_a.MaxFanIn() &&
+               rb.size() <= sorter_b.MaxFanIn())
+          << "fused SSSJ requires a single merge pass";
+    }
+    MemoryGrant sweep_grant = scope->AcquireShrinkable(
+        grants::kSweep, est_sweep_bytes, /*floor_bytes=*/0);
     MergingReader<RectF, OrderByYLo> source_a(std::move(ra),
                                               /*block_pages=*/8);
     MergingReader<RectF, OrderByYLo> source_b(std::move(rb),
@@ -58,30 +102,31 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
     sweep_stats =
         SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips,
                           source_a, source_b, emit);
+    sweep_grant.NoteUsage(sweep_stats.max_structure_bytes);
   } else {
     auto sorted_a = MakeMemoryPager(disk, "sssj.sorted.a");
     auto sorted_b = MakeMemoryPager(disk, "sssj.sorted.b");
     SJ_ASSIGN_OR_RETURN(
         StreamRange sa,
         SortRectsByYLo(a.range, runs_a.get(), sorted_a.get(),
-                       options.memory_bytes / 2));
+                       options.memory_bytes / 2, scope.get()));
     SJ_ASSIGN_OR_RETURN(
         StreamRange sb,
         SortRectsByYLo(b.range, runs_b.get(), sorted_b.get(),
-                       options.memory_bytes / 2));
+                       options.memory_bytes / 2, scope.get()));
+    MemoryGrant sweep_grant = scope->AcquireShrinkable(
+        grants::kSweep, est_sweep_bytes, /*floor_bytes=*/0);
     StreamSource source_a(sa), source_b(sb);
     sweep_stats =
         SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips,
                           source_a, source_b, emit);
+    sweep_grant.NoteUsage(sweep_stats.max_structure_bytes);
   }
-
-  SJ_CHECK(sweep_stats.max_structure_bytes <= options.memory_bytes)
-      << "sweep structures exceeded memory; the distribution-sweeping "
-         "fallback of [4] would be required for this input";
 
   JoinStats stats = measurement.Finish();
   stats.output_count = sweep_stats.output_count;
   stats.max_sweep_bytes = sweep_stats.max_structure_bytes;
+  FillMemoryStats(*scope, &stats);
   return stats;
 }
 
@@ -115,19 +160,32 @@ Status DistributeToStrips(const DatasetRef& input, const StripMap& map,
 
 Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
                                 uint32_t strips, DiskModel* disk,
-                                const JoinOptions& options, JoinSink* sink) {
+                                const JoinOptions& options, JoinSink* sink,
+                                MemoryArbiter* arbiter) {
+  const ArbiterScope scope(arbiter, options);
   JoinMeasurement measurement(disk);
   SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
   const StripMap map(extent, strips);
 
-  auto make_files = [disk](const char* side, uint32_t k) {
+  // One writer per strip and side stays open during distribution; the
+  // 4-page flush blocks shrink when the grant cannot cover all of them.
+  MemoryGrant writer_grant = scope->AcquireShrinkable(
+      grants::kStripWriters,
+      size_t{2} * map.strips() * 4 * kPageSize,
+      std::min<size_t>(size_t{2} * map.strips() * kPageSize,
+                       scope->budget()));
+  const uint32_t writer_block_pages = static_cast<uint32_t>(std::clamp<size_t>(
+      writer_grant.bytes() / (size_t{2} * map.strips() * kPageSize), 1, 4));
+  writer_grant.NoteUsage(size_t{2} * map.strips() * writer_block_pages *
+                         kPageSize);
+  auto make_files = [disk, writer_block_pages](const char* side, uint32_t k) {
     std::vector<StripFile> files(k);
     for (uint32_t i = 0; i < k; ++i) {
       files[i].pager = MakeMemoryPager(
           disk, std::string("sssj.strip.") + side + "." + std::to_string(i));
       files[i].writer =
           std::make_unique<StreamWriter<RectF>>(files[i].pager.get(),
-                                                /*block_pages=*/4);
+                                                writer_block_pages);
     }
     return files;
   };
@@ -135,6 +193,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   std::vector<StripFile> files_b = make_files("b", map.strips());
   SJ_RETURN_IF_ERROR(DistributeToStrips(a, map, &files_a));
   SJ_RETURN_IF_ERROR(DistributeToStrips(b, map, &files_b));
+  writer_grant.Release();
 
   // Strips are independent: each one sorts and sweeps against a private
   // DiskModel shard and buffers its pairs in a private sink, merged in
@@ -142,6 +201,9 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   // every options.num_threads (see the PBSM phase-2 comment).
   struct StripTask {
     std::unique_ptr<DiskModel> disk;
+    /// Serial-equivalent memory scope: each strip is one work unit with
+    /// the full budget; peaks are folded as a max afterwards.
+    std::unique_ptr<MemoryArbiter> memory;
     std::unique_ptr<Pager> pager_a, pager_b;
     StreamRange range_a, range_b;
     CollectingSink sink;
@@ -156,6 +218,8 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   for (uint32_t s = 0; s < map.strips(); ++s) {
     StripTask& t = tasks[s];
     t.disk = std::make_unique<DiskModel>(disk->machine());
+    t.memory = std::make_unique<MemoryArbiter>(scope->budget(),
+                                               scope->strict());
     t.pager_a = RehomePager(std::move(files_a[s].pager), t.disk.get());
     t.pager_b = RehomePager(std::move(files_b[s].pager), t.disk.get());
     t.range_a = StreamRange{t.pager_a.get(), files_a[s].range.first_page,
@@ -174,11 +238,15 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
         SJ_ASSIGN_OR_RETURN(
             StreamRange sa,
             SortRectsByYLo(t.range_a, scratch.get(), sorted.get(),
-                           options.memory_bytes / 2));
+                           options.memory_bytes / 2, t.memory.get()));
         SJ_ASSIGN_OR_RETURN(
             StreamRange sb,
             SortRectsByYLo(t.range_b, scratch.get(), sorted.get(),
-                           options.memory_bytes / 2));
+                           options.memory_bytes / 2, t.memory.get()));
+        MemoryGrant sweep_grant = t.memory->AcquireShrinkable(
+            grants::kSweep,
+            EstimateSweepBytes(t.range_a.count + t.range_b.count),
+            /*floor_bytes=*/0);
         StreamReader<RectF> reader_a(sa.pager, sa.first_page, sa.count);
         StreamReader<RectF> reader_b(sb.pager, sb.first_page, sb.count);
         auto emit = [&](const RectF& ra, const RectF& rb) {
@@ -193,9 +261,10 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
                               options.striped_strips, reader_a, reader_b,
                               emit);
         t.max_sweep_bytes = sweep_stats.max_structure_bytes;
-        SJ_CHECK(sweep_stats.max_structure_bytes <= options.memory_bytes)
-            << "strip" << s
-            << "still exceeds memory; increase the strip count";
+        // A strict arbiter aborts here when the strip's active sets
+        // still exceed the grant (the old hard SJ_CHECK); otherwise the
+        // overshoot lands in the usage high-water marks.
+        sweep_grant.NoteUsage(sweep_stats.max_structure_bytes);
         t.cpu_seconds = cpu.Elapsed();
         return Status::OK();
       }));
@@ -212,6 +281,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
     max_sweep = std::max(max_sweep, t.max_sweep_bytes);
     worker_cpu += t.cpu_seconds;
     shard_disk += t.disk->stats();
+    scope->FoldChild(*t.memory);
   }
 
   JoinStats stats = measurement.Finish();
@@ -220,6 +290,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   stats.output_count = output;
   stats.max_sweep_bytes = max_sweep;
   stats.partitions_total = map.strips();
+  FillMemoryStats(*scope, &stats);
   return stats;
 }
 

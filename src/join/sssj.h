@@ -17,17 +17,23 @@ namespace sj {
 /// over the data — all of which the DiskModel charges from the actual
 /// access pattern.
 ///
-/// The interval structures are assumed to fit in memory; the paper
-/// verifies this holds by orders of magnitude on real data (Table 3), and
-/// the distribution-sweeping fallback for adversarial inputs is
-/// intentionally out of scope here (it never triggers on any dataset in
-/// the study; SJ_CHECKs guard the assumption).
+/// The interval structures are assumed to fit in memory on the paper's
+/// data (Table 3 verifies this by orders of magnitude). Under the memory
+/// governor that assumption became enforceable: the sweep acquires a
+/// grant bounded by the input size, and when the conservative bound (the
+/// whole input could be active at once) exceeds the granted memory the
+/// join degrades gracefully to SSSJStripJoin below — the paper's own
+/// single-dimension partitioning fallback — instead of over-allocating.
+/// A strict arbiter additionally aborts if the sweep structures outgrow
+/// their grant at run time.
 ///
 /// Temporary runs and sorted streams are held in memory-backed pagers
-/// registered on `disk` (charged like any other file).
+/// registered on `disk` (charged like any other file). `arbiter` is the
+/// query's memory governor; nullptr runs against a private one over the
+/// options' budget.
 Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
                            DiskModel* disk, const JoinOptions& options,
-                           JoinSink* sink);
+                           JoinSink* sink, MemoryArbiter* arbiter = nullptr);
 
 /// The partitioned fallback of SSSJ for adversarial inputs (§3.1's
 /// "partitioning along a single dimension", after Güting & Schilling):
@@ -41,7 +47,16 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
 /// relative to plain SSSJ.
 Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
                                 uint32_t strips, DiskModel* disk,
-                                const JoinOptions& options, JoinSink* sink);
+                                const JoinOptions& options, JoinSink* sink,
+                                MemoryArbiter* arbiter = nullptr);
+
+/// Conservative estimate of a plane sweep's peak active-set bytes over
+/// `records` inputs: the square-root rule the paper verifies on real
+/// data (Table 3), padded by a generous safety factor. Sizes the sweep
+/// grant (here and in PlanJoinMemory, so Explain() reports the grant
+/// the executor acquires) and triggers the strip spill when it exceeds
+/// the grantable memory.
+size_t EstimateSweepBytes(uint64_t records);
 
 }  // namespace sj
 

@@ -11,12 +11,8 @@ namespace {
 
 class STRunner {
  public:
-  STRunner(const RTree& a, const RTree& b, const JoinOptions& options,
-           JoinSink* sink)
-      : tree_a_(a),
-        tree_b_(b),
-        pool_(options.buffer_pool_pages),
-        sink_(sink) {}
+  STRunner(const RTree& a, const RTree& b, size_t pool_pages, JoinSink* sink)
+      : tree_a_(a), tree_b_(b), pool_(pool_pages), sink_(sink) {}
 
   Status Run() {
     if (tree_a_.meta().entry_count == 0 || tree_b_.meta().entry_count == 0) {
@@ -30,6 +26,7 @@ class STRunner {
   }
 
   const BufferPoolStats& pool_stats() const { return pool_.stats(); }
+  size_t cached_pages() const { return pool_.cached_pages(); }
 
  private:
   /// Loads the entries of `page` that overlap `window`, sorted by xlo.
@@ -105,7 +102,24 @@ class STRunner {
 }  // namespace
 
 Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
-                         const JoinOptions& options, JoinSink* sink) {
+                         const JoinOptions& options, JoinSink* sink,
+                         MemoryArbiter* arbiter) {
+  const ArbiterScope scope(arbiter, options);
+  // The pool's frames are a grant: the requested capacity shrinks to the
+  // budget (minus a small reserve for the per-node entry lists), with an
+  // 8-frame floor so traversal always makes progress.
+  constexpr size_t kMinPoolPages = 8;
+  const size_t budget = scope->budget();
+  // The budget cap never squeezes the request below the 8-frame floor;
+  // an explicitly smaller options.buffer_pool_pages is still honored
+  // (tests force re-reads with tiny pools).
+  const size_t requested = std::min<size_t>(
+      options.buffer_pool_pages * kPageSize,
+      std::max(budget - std::min(budget, size_t{2} * kPageSize),
+               kMinPoolPages * kPageSize));
+  MemoryGrant pool_grant = scope->AcquireShrinkable(
+      grants::kBufferPool, requested, kMinPoolPages * kPageSize);
+  const size_t pool_pages = std::max<size_t>(1, pool_grant.bytes() / kPageSize);
   JoinMeasurement measurement(disk);
   const uint64_t index_reads_before =
       disk->device_stats()[a.pager()->device_id()].pages_read +
@@ -125,11 +139,13 @@ Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
     CountingSink* count_;
   } tee(sink, &counter);
 
-  STRunner runner(a, b, options, &tee);
+  STRunner runner(a, b, pool_pages, &tee);
   SJ_RETURN_IF_ERROR(runner.Run());
+  pool_grant.NoteUsage(runner.cached_pages() * kPageSize);
 
   JoinStats stats = measurement.Finish();
   stats.output_count = counter.count();
+  FillMemoryStats(*scope, &stats);
   stats.index_pages_read =
       disk->device_stats()[a.pager()->device_id()].pages_read +
       disk->device_stats()[b.pager()->device_id()].pages_read -

@@ -23,8 +23,15 @@ namespace sj {
 /// `options.buffer_pool_pages` frames (the paper's 22 MB). Pool misses are
 /// the "page requests" of Table 4; revisits of cached pages cost nothing,
 /// which is why NJ/NY come out at (or slightly below) the index size.
+///
+/// The pool is grant-backed: its frames come from a "buffer.pool" memory
+/// grant and the capacity shrinks to whatever the arbiter can give
+/// (floor: 8 frames), so a 256 KB query budget yields a ~30-frame pool
+/// rather than an ungoverned 22 MB one. `arbiter` is the query's memory
+/// governor; nullptr runs against a private one over the options' budget.
 Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
-                         const JoinOptions& options, JoinSink* sink);
+                         const JoinOptions& options, JoinSink* sink,
+                         MemoryArbiter* arbiter = nullptr);
 
 }  // namespace sj
 

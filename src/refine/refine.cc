@@ -35,6 +35,25 @@ std::vector<BatchShard> MakeShards(uint64_t nbatches, const MachineModel& m,
   return shards;
 }
 
+/// Grant-aware batch size: the configured refine_batch_pairs, shrunk so
+/// one batch's working set fits the "refine.batch" grant — the graceful
+/// over-budget path (smaller batches mean more, smaller fetch rounds,
+/// never a failure). `grant` keeps the share reserved for the caller's
+/// lifetime.
+uint64_t EffectiveBatchPairs(const JoinOptions& options, MemoryArbiter* arbiter,
+                             MemoryGrant* grant) {
+  const uint64_t batch = std::max<uint32_t>(1, options.refine_batch_pairs);
+  if (arbiter == nullptr) return batch;
+  *grant = arbiter->AcquireShrinkable(
+      grants::kRefineBatch, batch * kRefineBytesPerCandidate,
+      size_t{kMinRefineBatchPairs} * kRefineBytesPerCandidate);
+  const uint64_t cap = std::max<uint64_t>(
+      kMinRefineBatchPairs, grant->bytes() / kRefineBytesPerCandidate);
+  const uint64_t effective = std::min(batch, cap);
+  grant->NoteUsage(effective * kRefineBytesPerCandidate);
+  return effective;
+}
+
 RefineStats MergeShards(const std::vector<BatchShard>& shards, bool pooled,
                         uint64_t candidates) {
   RefineStats stats;
@@ -56,8 +75,10 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
                                 const FeatureStore& store_a,
                                 const FeatureStore& store_b,
                                 const JoinOptions& options, JoinSink* sink,
-                                const PredicateSpec& predicate) {
-  const uint64_t batch = std::max<uint32_t>(1, options.refine_batch_pairs);
+                                const PredicateSpec& predicate,
+                                MemoryArbiter* arbiter) {
+  MemoryGrant batch_grant;
+  const uint64_t batch = EffectiveBatchPairs(options, arbiter, &batch_grant);
   const uint64_t n = candidates.size();
   const uint64_t nbatches = (n + batch - 1) / batch;
   if (nbatches == 0) return RefineStats{};
@@ -115,7 +136,7 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
 Result<RefineStats> RefineTuples(
     const std::vector<std::vector<ObjectId>>& tuples,
     const std::vector<const FeatureStore*>& stores, const JoinOptions& options,
-    TupleSink* sink) {
+    TupleSink* sink, MemoryArbiter* arbiter) {
   const size_t k = stores.size();
   if (k < 2) {
     return Status::InvalidArgument("tuple refinement needs at least 2 stores");
@@ -125,7 +146,8 @@ Result<RefineStats> RefineTuples(
       return Status::InvalidArgument("tuple refinement: missing store");
     }
   }
-  const uint64_t batch = std::max<uint32_t>(1, options.refine_batch_pairs);
+  MemoryGrant batch_grant;
+  const uint64_t batch = EffectiveBatchPairs(options, arbiter, &batch_grant);
   const uint64_t n = tuples.size();
   const uint64_t nbatches = (n + batch - 1) / batch;
   if (nbatches == 0) return RefineStats{};

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/memory_arbiter.h"
 #include "io/disk_model.h"
 #include "join/join_types.h"
 #include "join/multiway.h"
@@ -11,6 +12,18 @@
 #include "util/result.h"
 
 namespace sj {
+
+/// Approximate working bytes one candidate occupies in a refinement
+/// batch: the gathered ids and fetched geometry of both sides. The
+/// memory planner sizes the "refine.batch" grant with this, and
+/// RefinePairs/RefineTuples shrink the batch (down to
+/// kMinRefineBatchPairs) when the grant cannot cover
+/// options.refine_batch_pairs candidates.
+inline constexpr size_t kRefineBytesPerCandidate =
+    2 * (sizeof(Segment) + sizeof(ObjectId)) + sizeof(IdPair);
+
+/// Smallest refinement batch graceful degradation shrinks to.
+inline constexpr uint32_t kMinRefineBatchPairs = 64;
 
 /// Everything measured about one refinement run. Disk counters come from
 /// the per-batch DiskModel shards (a shard starts from fresh disk state,
@@ -45,7 +58,8 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
                                 const FeatureStore& store_b,
                                 const JoinOptions& options, JoinSink* sink,
                                 const PredicateSpec& predicate =
-                                    PredicateSpec{});
+                                    PredicateSpec{},
+                                MemoryArbiter* arbiter = nullptr);
 
 /// Refinement for k-way joins: a candidate tuple survives when every pair
 /// of member segments intersects (the natural exact analog of the k-way
@@ -55,7 +69,7 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
 Result<RefineStats> RefineTuples(
     const std::vector<std::vector<ObjectId>>& tuples,
     const std::vector<const FeatureStore*>& stores, const JoinOptions& options,
-    TupleSink* sink);
+    TupleSink* sink, MemoryArbiter* arbiter = nullptr);
 
 }  // namespace sj
 

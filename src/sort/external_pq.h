@@ -6,9 +6,11 @@
 #include <optional>
 #include <vector>
 
+#include "core/memory_arbiter.h"
 #include "io/pager.h"
 #include "io/stream.h"
 #include "sort/external_sort.h"
+#include "sort/run_layout.h"
 #include "util/logging.h"
 
 namespace sj {
@@ -32,17 +34,36 @@ namespace sj {
 /// for the moderate run counts this access pattern produces (the heap
 /// always holds the recent half of the live elements).
 ///
+/// The heap capacity and spill-block sizes come from RunLayout — the same
+/// arithmetic ExternalSorter uses — so the heap plus one open streaming
+/// block fit the budget (the two components historically copied this
+/// computation and diverged by that one block).
+///
 /// T must be trivially copyable; Less must be a strict weak ordering.
 template <typename T, typename Less>
 class ExternalPriorityQueue {
  public:
   /// Spilled runs are appended to `spill` (which must outlive the queue).
   /// `memory_bytes` bounds the in-memory heap; each spilled run adds one
-  /// small (2-page) streaming buffer on top.
-  ExternalPriorityQueue(size_t memory_bytes, Pager* spill, Less less = Less())
-      : less_(less),
-        spill_(spill),
-        heap_capacity_(std::max<size_t>(64, memory_bytes / sizeof(T))) {}
+  /// small streaming buffer on top. With an arbiter, the budget is
+  /// acquired as a tracked "pq.queue" grant (shrunk to what is left).
+  ExternalPriorityQueue(size_t memory_bytes, Pager* spill, Less less = Less(),
+                        MemoryArbiter* arbiter = nullptr)
+      : less_(less), spill_(spill) {
+    if (arbiter != nullptr) {
+      grant_ = arbiter->AcquireShrinkable(grants::kPqQueue, memory_bytes,
+                                          kMinHeapRecords * sizeof(T));
+      memory_bytes = grant_.bytes();
+    }
+    const RunLayout layout = RunLayout::For(memory_bytes, sizeof(T));
+    // The PQ's budget floor is records, not sort pages: tiny queues are
+    // legitimate (they just spill sooner), so undercut the layout's
+    // page-clamped capacity when the caller's budget is smaller.
+    heap_capacity_ = std::min<uint64_t>(
+        layout.run_records,
+        std::max<uint64_t>(kMinHeapRecords, memory_bytes / sizeof(T)));
+    run_block_pages_ = layout.block_pages;
+  }
 
   void Push(const T& value) {
     heap_.push_back(value);
@@ -87,7 +108,7 @@ class ExternalPriorityQueue {
   /// Current in-memory footprint (heap + run cursor buffers).
   size_t MemoryBytes() const {
     return heap_.size() * sizeof(T) +
-           cursors_.size() * kRunBlockPages * kPageSize;
+           cursors_.size() * run_block_pages_ * kPageSize;
   }
 
  private:
@@ -100,7 +121,7 @@ class ExternalPriorityQueue {
     std::optional<T> head;
   };
 
-  static constexpr uint32_t kRunBlockPages = 2;
+  static constexpr uint64_t kMinHeapRecords = 64;
   static constexpr int kNone = -2;
   static constexpr int kHeap = -1;
 
@@ -126,9 +147,10 @@ class ExternalPriorityQueue {
   void Spill() {
     // Keep the smaller half in memory (needed soonest); spill the larger
     // half as a sorted run with an open streaming cursor.
+    grant_.NoteUsage(MemoryBytes());
     std::sort(heap_.begin(), heap_.end(), less_);
     const size_t keep = heap_.size() / 2;
-    StreamWriter<T> writer(spill_, kRunBlockPages);
+    StreamWriter<T> writer(spill_, run_block_pages_);
     const PageId first = writer.first_page();
     for (size_t i = keep; i < heap_.size(); ++i) writer.Append(heap_[i]);
     auto n = writer.Finish();
@@ -138,7 +160,7 @@ class ExternalPriorityQueue {
 
     RunCursor cursor;
     cursor.reader = std::make_unique<StreamReader<T>>(spill_, first, n.value(),
-                                                      kRunBlockPages);
+                                                      run_block_pages_);
     cursor.head = cursor.reader->Next();
     SJ_CHECK(cursor.head.has_value());
     cursors_.push_back(std::move(cursor));
@@ -147,11 +169,13 @@ class ExternalPriorityQueue {
 
   Less less_;
   Pager* spill_;
-  size_t heap_capacity_;
+  size_t heap_capacity_ = kMinHeapRecords;
+  uint32_t run_block_pages_ = 1;
   std::vector<T> heap_;
   std::vector<RunCursor> cursors_;
   size_t total_runs_ = 0;
   uint64_t size_ = 0;
+  MemoryGrant grant_;
 };
 
 }  // namespace sj

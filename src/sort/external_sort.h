@@ -7,9 +7,11 @@
 #include <queue>
 #include <vector>
 
+#include "core/memory_arbiter.h"
 #include "geometry/rect.h"
 #include "io/pager.h"
 #include "io/stream.h"
+#include "sort/run_layout.h"
 #include "util/logging.h"
 #include "util/result.h"
 
@@ -42,15 +44,19 @@ class ExternalSorter {
   /// `scratch` receives runs; `output` receives the final sorted stream.
   /// They may be distinct pagers (distinct devices) or the same pager.
   /// Budgets below 4 pages are clamped up (the merge needs at least two
-  /// input blocks and one output block).
-  ExternalSorter(size_t memory_bytes, Pager* scratch, Less less = Less())
-      : memory_bytes_(std::max(memory_bytes, kPageSize * 4)),
-        scratch_(scratch),
-        less_(less) {
-    // Merge readers use small blocks so that many runs fit in the budget;
-    // with plentiful memory, larger blocks amortize positioning costs.
-    merge_block_pages_ = static_cast<uint32_t>(std::clamp<size_t>(
-        memory_bytes_ / kPageSize / 32, 1, kStreamBlockPages / 8));
+  /// input blocks and one output block; see RunLayout for the shared
+  /// sizing arithmetic). When `arbiter` is given, the sorter acquires its
+  /// budget as a tracked grant — shrunk to what the arbiter has left —
+  /// and reports its run-buffer usage against it.
+  ExternalSorter(size_t memory_bytes, Pager* scratch, Less less = Less(),
+                 MemoryArbiter* arbiter = nullptr)
+      : scratch_(scratch), less_(less) {
+    if (arbiter != nullptr) {
+      grant_ = arbiter->AcquireShrinkable(grants::kSortRuns, memory_bytes,
+                                          RunLayout::kMinSortMemoryBytes);
+      memory_bytes = grant_.bytes();
+    }
+    layout_ = RunLayout::For(memory_bytes, sizeof(T));
   }
 
   /// Sorts `input` and writes the result to `output`'s end; returns the
@@ -87,17 +93,14 @@ class ExternalSorter {
 
   /// Number of runs the merge phase can combine at once: one input block
   /// per run plus one output block must fit in memory.
-  size_t MaxFanIn() const {
-    const size_t block_bytes = merge_block_pages_ * kPageSize;
-    const size_t blocks = memory_bytes_ / block_bytes;
-    return std::max<size_t>(2, blocks > 0 ? blocks - 1 : 0);
-  }
+  size_t MaxFanIn() const { return layout_.fan_in; }
 
   /// Pages per merge-reader block (derived from the memory budget).
-  uint32_t merge_block_pages() const { return merge_block_pages_; }
+  uint32_t merge_block_pages() const { return layout_.block_pages; }
 
-  /// Records per in-memory sorted run.
-  uint64_t RunCapacity() const { return memory_bytes_ / sizeof(T); }
+  /// Records per in-memory sorted run (the budget minus one open
+  /// streaming block, shared with ExternalPriorityQueue via RunLayout).
+  uint64_t RunCapacity() const { return layout_.run_records; }
 
   /// Phase 1 only: forms sorted runs in the scratch pager. Exposed so SSSJ
   /// can fuse the final merge with its plane sweep (see MergingReader).
@@ -111,7 +114,9 @@ class ExternalSorter {
       if (rec.has_value()) chunk.push_back(*rec);
       if ((!rec.has_value() && !chunk.empty()) || chunk.size() >= cap) {
         std::sort(chunk.begin(), chunk.end(), less_);
-        StreamWriter<T> writer(scratch_);
+        grant_.NoteUsage(chunk.size() * sizeof(T) +
+                         layout_.write_block_pages * kPageSize);
+        StreamWriter<T> writer(scratch_, layout_.write_block_pages);
         const PageId first = writer.first_page();
         for (const T& t : chunk) writer.Append(t);
         SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
@@ -136,10 +141,11 @@ class ExternalSorter {
     std::vector<std::unique_ptr<StreamReader<T>>> readers;
     readers.reserve(runs.size());
     std::vector<HeapItem> heap;
+    grant_.NoteUsage((runs.size() + 1) * layout_.block_pages * kPageSize);
     for (size_t i = 0; i < runs.size(); ++i) {
       readers.push_back(std::make_unique<StreamReader<T>>(
           runs[i].pager, runs[i].first_page, runs[i].count,
-          merge_block_pages_));
+          layout_.block_pages));
       std::optional<T> head = readers[i]->Next();
       if (head.has_value()) heap.push_back(HeapItem{*head, i});
     }
@@ -171,10 +177,10 @@ class ExternalSorter {
     return StreamRange{output, first, n};
   }
 
-  size_t memory_bytes_;
   Pager* scratch_;
   Less less_;
-  uint32_t merge_block_pages_;
+  RunLayout layout_;
+  MemoryGrant grant_;
 };
 
 /// Pull-based k-way merge over sorted runs: yields records in sorted order
@@ -230,11 +236,13 @@ class MergingReader {
 };
 
 /// Convenience: sorts RectF records by lower y coordinate (the sweep
-/// order).
+/// order). With an arbiter, the sort memory is a tracked grant.
 inline Result<StreamRange> SortRectsByYLo(const StreamRange& input,
                                           Pager* scratch, Pager* output,
-                                          size_t memory_bytes) {
-  ExternalSorter<RectF, OrderByYLo> sorter(memory_bytes, scratch);
+                                          size_t memory_bytes,
+                                          MemoryArbiter* arbiter = nullptr) {
+  ExternalSorter<RectF, OrderByYLo> sorter(memory_bytes, scratch,
+                                           OrderByYLo(), arbiter);
   return sorter.Sort(input, output);
 }
 

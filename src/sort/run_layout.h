@@ -1,0 +1,74 @@
+#ifndef USJ_SORT_RUN_LAYOUT_H_
+#define USJ_SORT_RUN_LAYOUT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "io/stream.h"
+
+namespace sj {
+
+/// The one place that turns a memory budget into run-formation sizes, for
+/// both external components that form sorted runs: ExternalSorter (run
+/// chunks + merge fan-in) and ExternalPriorityQueue (heap capacity + spill
+/// cursors).
+///
+/// Historically the two copied this arithmetic and diverged by one
+/// streaming block: the sorter sized its in-memory runs to the *full*
+/// budget even though a streaming buffer (one block) is always open next
+/// to the run being formed or the heap being spilled, while the PQ sized
+/// its heap to the full budget and then paid its cursor blocks on top.
+/// RunLayout reserves one open streaming block out of the budget before
+/// dividing the rest into records, so a full run (or heap) plus its open
+/// writer stays within the grant. (The PQ's *read* side still accumulates
+/// one cursor block per open spilled run beyond the first — bounded by
+/// the run count and reported through MemoryBytes()/NoteUsage, not
+/// hidden.)
+struct RunLayout {
+  /// The effective budget (never below kMinSortMemoryBytes).
+  size_t memory_bytes = 0;
+  /// Pages per streaming block: merge readers, the PQ's spill writers and
+  /// run cursors. Small so many runs fit in the budget; grows with
+  /// plentiful memory to amortize positioning costs.
+  uint32_t block_pages = 1;
+  /// Pages per run-formation write block (larger than block_pages — only
+  /// one run writer is open at a time — but still within the budget).
+  uint32_t write_block_pages = 1;
+  /// Records per in-memory sorted run / heap spill threshold.
+  uint64_t run_records = 0;
+  /// Runs a merge can combine at once: one input block per run plus one
+  /// output block must fit in the budget.
+  size_t fan_in = 2;
+
+  /// Sorting needs at least two merge input blocks and one output block.
+  static constexpr size_t kMinSortMemoryBytes = kPageSize * 4;
+  /// Progress floor: a run of fewer records than this never pays off.
+  static constexpr uint64_t kMinRunRecords = 64;
+
+  static RunLayout For(size_t memory_bytes, size_t record_size) {
+    RunLayout layout;
+    layout.memory_bytes = std::max(memory_bytes, kMinSortMemoryBytes);
+    layout.block_pages = static_cast<uint32_t>(std::clamp<size_t>(
+        layout.memory_bytes / kPageSize / 32, 1, kStreamBlockPages / 8));
+    layout.write_block_pages = static_cast<uint32_t>(std::clamp<size_t>(
+        layout.memory_bytes / kPageSize / 2, 1, kStreamBlockPages));
+    // Reserve the largest buffer that is ever open next to a full run:
+    // the formation write block (>= the merge read block), so a run
+    // chunk plus its open writer stay within the budget.
+    const size_t reserve_bytes = layout.write_block_pages * kPageSize;
+    const size_t run_bytes =
+        layout.memory_bytes > reserve_bytes
+            ? layout.memory_bytes - reserve_bytes
+            : 0;
+    layout.run_records =
+        std::max<uint64_t>(kMinRunRecords, run_bytes / record_size);
+    const size_t blocks = layout.memory_bytes / (layout.block_pages * kPageSize);
+    layout.fan_in = std::max<size_t>(2, blocks > 0 ? blocks - 1 : 0);
+    return layout;
+  }
+};
+
+}  // namespace sj
+
+#endif  // USJ_SORT_RUN_LAYOUT_H_

@@ -173,6 +173,33 @@ TEST_F(BufferPoolTest, FrameKeysDistinguishManyPagersWithEqualPageIds) {
   }
 }
 
+TEST_F(BufferPoolTest, SetCapacityShrinksByEvictingLru) {
+  // The grant-backed resize: shrinking evicts LRU frames down to the new
+  // capacity, growing just raises the ceiling; cached data stays valid
+  // throughout.
+  BufferPool pool(8);
+  for (PageId i = 0; i < 6; ++i) FirstByte(&pool, i);
+  EXPECT_EQ(pool.cached_pages(), 6u);
+
+  pool.SetCapacity(3);
+  EXPECT_EQ(pool.capacity_pages(), 3u);
+  EXPECT_EQ(pool.cached_pages(), 3u);
+  // The survivors are the most recently used pages (3, 4, 5) and still
+  // serve hits with the right contents.
+  const uint64_t hits_before = pool.stats().hits;
+  for (PageId i = 3; i < 6; ++i) {
+    EXPECT_EQ(FirstByte(&pool, i), 1 + static_cast<int>(i));
+  }
+  EXPECT_EQ(pool.stats().hits, hits_before + 3);
+  // Evicted pages miss and re-enter within the new capacity.
+  EXPECT_EQ(FirstByte(&pool, 0), 1);
+  EXPECT_EQ(pool.cached_pages(), 3u);
+
+  pool.SetCapacity(5);
+  EXPECT_EQ(pool.capacity_pages(), 5u);
+  EXPECT_EQ(pool.cached_pages(), 3u);  // Growing never drops frames.
+}
+
 TEST_F(BufferPoolTest, StatsDeltasMatchDiskReadsExactly) {
   // Pool misses are precisely the requests that reach the disk: over any
   // access sequence, the miss delta equals the disk's pages_read delta

@@ -29,6 +29,33 @@ TEST(CostModel, SSSJCostIsSixSequentialPasses) {
   EXPECT_NEAR(model.SSSJSeconds(1000), 6.0 * 1000 * seq_page, 1e-9);
 }
 
+TEST(CostModel, GrantedMemoryPricingAddsMergePasses) {
+  const CostModel model(MachineModel::Machine1());
+  const uint64_t pages = 4000;  // ~32 MB of data.
+  // A comfortable grant sorts in one merge pass: the memory-aware price
+  // equals the classic six-pass estimate exactly.
+  EXPECT_EQ(model.ExtraMergePasses(pages, 24u << 20), 0u);
+  EXPECT_DOUBLE_EQ(model.SSSJSeconds(pages, 24u << 20),
+                   model.SSSJSeconds(pages));
+  // A tight grant needs extra merge passes, each one more read + write
+  // pass over the data — strictly more expensive, monotonically so.
+  EXPECT_GT(model.ExtraMergePasses(pages, 256u << 10), 0u);
+  EXPECT_GT(model.SSSJSeconds(pages, 256u << 10), model.SSSJSeconds(pages));
+  EXPECT_GE(model.SSSJSeconds(pages, 128u << 10),
+            model.SSSJSeconds(pages, 1u << 20));
+  // The pass count follows the fan-in arithmetic: cost rises by exactly
+  // (1 + write_factor) sequential passes per extra merge pass.
+  const double seq_page =
+      MachineModel::Machine1().PageTransferMs(kPageSize) * 1e-3;
+  const uint64_t extra = model.ExtraMergePasses(pages, 256u << 10);
+  EXPECT_NEAR(model.SSSJSeconds(pages, 256u << 10),
+              model.SSSJSeconds(pages) +
+                  static_cast<double>(extra) *
+                      (1.0 + MachineModel::Machine1().write_factor) *
+                      static_cast<double>(pages) * seq_page,
+              1e-9);
+}
+
 TEST(CostModel, StreamingPassFactorSharedByCostAndBreakEven) {
   // SSSJSeconds and IndexBreakEvenFraction must price the streaming plan
   // with the same pass count: the break-even rule is exactly "streaming

@@ -120,6 +120,47 @@ TEST(ExternalPriorityQueue, MemoryStaysBounded) {
                 pq.OpenRuns() * 2 * kPageSize);
 }
 
+TEST(ExternalPriorityQueue, GrantDrivenBudgetShrinksAndRecordsUsage) {
+  // With an arbiter, the queue's budget is a tracked "pq.queue" grant
+  // shrunk to what remains; the squeezed heap spills sooner and its
+  // sampled footprint lands in the component high-water marks.
+  TestDisk td;
+  auto spill = td.NewPager("spill");
+  MemoryArbiter arbiter(4096 * sizeof(uint64_t));
+  auto other = arbiter.Acquire("sweep", 3584 * sizeof(uint64_t));
+  ASSERT_TRUE(other.ok());
+  ExternalPriorityQueue<uint64_t, IntLess> pq(4096 * sizeof(uint64_t),
+                                              spill.get(), IntLess(),
+                                              &arbiter);
+  // Only 512 records' worth was available, so the queue spills far
+  // sooner than its requested budget would.
+  Random rng(6);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t v = rng.Uniform(1u << 20);
+    inserted.push_back(v);
+    pq.Push(v);
+  }
+  EXPECT_GT(pq.SpilledRuns(), 0u);
+  EXPECT_LE(arbiter.peak_bytes(), arbiter.budget());
+  bool recorded = false;
+  for (const auto& c : arbiter.ComponentStats()) {
+    if (c.component == grants::kPqQueue) {
+      EXPECT_EQ(c.granted_high_water, 512 * sizeof(uint64_t));
+      EXPECT_GT(c.used_high_water, 0u);
+      recorded = true;
+    }
+  }
+  EXPECT_TRUE(recorded);
+  std::sort(inserted.begin(), inserted.end());
+  for (uint64_t expected : inserted) {
+    auto v = pq.PopMin();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, expected);
+  }
+  EXPECT_TRUE(pq.Empty());
+}
+
 TEST(ExternalPriorityQueue, DuplicateKeys) {
   TestDisk td;
   auto spill = td.NewPager("spill");

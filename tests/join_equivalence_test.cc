@@ -256,10 +256,25 @@ GeneratedWorkload GenerateWorkload(uint64_t seed) {
   return w;
 }
 
+/// SJ_DIFF_MEMORY=tiny clamps every generated workload's budget to the
+/// tiny end of the ladder (alternating 256 KB / 1 MB by seed), so the
+/// low-memory CI job sweeps the whole differential matrix under memory
+/// pressure without a separate test binary.
+void ApplyMemoryEnv(GeneratedWorkload* w, uint64_t seed) {
+  const char* mode = std::getenv("SJ_DIFF_MEMORY");
+  if (mode == nullptr) return;
+  if (std::string(mode) == "tiny") {
+    w->memory_bytes = (seed & 1) ? (256u << 10) : (1u << 20);
+    w->description += " mem-env=tiny(" +
+                      std::to_string(w->memory_bytes >> 10) + "KB)";
+  }
+}
+
 /// Harness configuration from the environment: SJ_DIFF_SEED replays one
 /// workload from a specific seed; SJ_DIFF_WORKLOADS multiplies the
 /// workload count (the nightly CI job runs many fresh-seeded iterations;
-/// together with SJ_DIFF_SEED it replays a *range* starting there).
+/// together with SJ_DIFF_SEED it replays a *range* starting there);
+/// SJ_DIFF_MEMORY=tiny forces tiny budgets (see ApplyMemoryEnv).
 struct DiffConfig {
   uint64_t base_seed;
   int workloads;
@@ -281,7 +296,8 @@ TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
   const DiffConfig config = DiffConfigFromEnv(0x5EED2026u, 8);
   for (int trial = 0; trial < config.workloads; ++trial) {
     const uint64_t seed = config.base_seed + static_cast<uint64_t>(trial);
-    const GeneratedWorkload w = GenerateWorkload(seed);
+    GeneratedWorkload w = GenerateWorkload(seed);
+    ApplyMemoryEnv(&w, seed);
     SCOPED_TRACE("workload [" + w.description +
                  "] — replay with SJ_DIFF_SEED=" + std::to_string(seed));
 
@@ -334,11 +350,11 @@ TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
           algo == JoinAlgorithm::kPBSM || algo == JoinAlgorithm::kAuto;
       for (uint32_t threads : {1u, 2u, 8u}) {
         // One shared joiner per workload config; every variation below is
-        // a per-query override, never a joiner mutation.
+        // a per-query override, never a joiner mutation. The buffer pool
+        // is no longer downsized by hand: it is grant-backed, so the
+        // arbiter shrinks it to the budget on its own.
         JoinOptions options;
         options.memory_bytes = w.memory_bytes;
-        options.buffer_pool_pages = std::max<size_t>(
-            16, w.memory_bytes / kPageSize);
         SpatialJoiner joiner(&td.disk, options);
         for (bool adaptive : {true, false}) {
           if (!adaptive && !partitioning_applies) continue;
@@ -380,6 +396,91 @@ TEST(RandomizedDifferential, AllAlgorithmsThreadsAndRefinementAgree) {
             EXPECT_FALSE(joiner.options().refine)
                 << "per-query override must not mutate the shared joiner";
           }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The memory-budget dimension (the MemoryArbiter acceptance property):
+// every algorithm at every budget of the ladder — 256 KB, 1 MB, the
+// 24 MB default — produces output identical to the default-budget run,
+// across 1 and 8 threads; and the reported peak_memory_bytes stays
+// within the granted budget for every algorithm on every workload.
+// Tiny budgets exercise the degradation paths (SSSJ strip spill, PBSM
+// writer-block shrink + overflow grants, the shrunken ST pool, smaller
+// refine batches) which must all be invisible in the result set.
+// ---------------------------------------------------------------------------
+
+TEST(RandomizedDifferential, MemoryBudgetDimensionAgreesAndStaysInBudget) {
+  const DiffConfig config = DiffConfigFromEnv(0x3E3B0D6Eu, 3);
+  for (int trial = 0; trial < config.workloads; ++trial) {
+    const uint64_t seed = config.base_seed + static_cast<uint64_t>(trial);
+    const GeneratedWorkload w = GenerateWorkload(seed);
+    SCOPED_TRACE("workload [" + w.description +
+                 "] — replay with SJ_DIFF_SEED=" + std::to_string(seed));
+
+    TestDisk td;
+    std::vector<std::unique_ptr<Pager>> keep;
+    const DatasetRef da = MakeDataset(&td, w.a, "a", &keep);
+    const DatasetRef db = MakeDataset(&td, w.b, "b", &keep);
+    auto tree_a_pager = td.NewPager("tree.a");
+    auto tree_b_pager = td.NewPager("tree.b");
+    auto scratch = td.NewPager("scratch");
+    RTreeParams params;
+    params.max_entries = w.fanout;
+    auto ta = RTree::BulkLoadHilbert(tree_a_pager.get(), da.range,
+                                     scratch.get(), params, 1 << 22);
+    auto tb = RTree::BulkLoadHilbert(tree_b_pager.get(), db.range,
+                                     scratch.get(), params, 1 << 22);
+    ASSERT_TRUE(ta.ok() && tb.ok());
+
+    SpatialJoiner joiner(&td.disk, JoinOptions());
+    const size_t kDefault = JoinOptions().memory_bytes;
+    for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
+                               JoinAlgorithm::kST, JoinAlgorithm::kPQ,
+                               JoinAlgorithm::kAuto}) {
+      const bool indexed =
+          algo == JoinAlgorithm::kST || algo == JoinAlgorithm::kPQ ||
+          algo == JoinAlgorithm::kAuto;
+      const JoinInput ia = indexed ? JoinInput::FromRTree(&*ta)
+                                   : JoinInput::FromStream(da);
+      const JoinInput ib = indexed ? JoinInput::FromRTree(&*tb)
+                                   : JoinInput::FromStream(db);
+
+      // Reference: the default-budget run of this algorithm.
+      std::vector<IdPair> reference;
+      {
+        CollectingSink sink;
+        auto stats =
+            JoinQuery(joiner).Input(ia).Input(ib).Algorithm(algo).Run(&sink);
+        ASSERT_TRUE(stats.ok()) << ToString(algo) << ": "
+                                << stats.status().ToString();
+        reference = Sorted(sink.pairs());
+      }
+
+      for (const size_t budget : {size_t{256} << 10, size_t{1} << 20,
+                                  kDefault}) {
+        for (uint32_t threads : {1u, 8u}) {
+          CollectingSink sink;
+          auto stats = JoinQuery(joiner)
+                           .Input(ia)
+                           .Input(ib)
+                           .Algorithm(algo)
+                           .MemoryBytes(budget)
+                           .Threads(threads)
+                           .Run(&sink);
+          const std::string variant = std::string(ToString(algo)) + " mem" +
+                                      std::to_string(budget >> 10) + "KB t" +
+                                      std::to_string(threads);
+          ASSERT_TRUE(stats.ok()) << variant << ": "
+                                  << stats.status().ToString();
+          EXPECT_EQ(Sorted(sink.pairs()), reference) << variant;
+          // Enforcement: the arbiter's granted peak is real and bounded.
+          EXPECT_GT(stats->peak_memory_bytes, 0u) << variant;
+          EXPECT_LE(stats->peak_memory_bytes, budget) << variant;
+          EXPECT_FALSE(stats->memory_components.empty()) << variant;
         }
       }
     }

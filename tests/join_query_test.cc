@@ -54,6 +54,76 @@ struct QueryFixture {
 // message, for JoinQuery, the legacy Join wrapper, and the k-way path.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Satellite: absurdly small memory budgets used to flow into divisions
+// downstream; they are now rejected at compile time with a message
+// naming the documented floor, and budgets at the floor run governed.
+// ---------------------------------------------------------------------------
+
+TEST(JoinQueryErrors, MemoryBudgetBelowFloorIsRejected) {
+  QueryFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  for (const size_t bad : {size_t{0}, size_t{1}, kMinMemoryBytes - 1}) {
+    CollectingSink sink;
+    auto stats = JoinQuery(joiner)
+                     .Input(JoinInput::FromStream(f.da))
+                     .Input(JoinInput::FromStream(f.db))
+                     .MemoryBytes(bad)
+                     .Run(&sink);
+    ASSERT_FALSE(stats.ok()) << "budget " << bad << " was accepted";
+    EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(stats.status().message().find("kMinMemoryBytes"),
+              std::string::npos)
+        << stats.status().message();
+    EXPECT_NE(stats.status().message().find("64 KiB"), std::string::npos)
+        << stats.status().message();
+    // Explain trips over the same validation.
+    auto plan = JoinQuery(joiner)
+                    .Input(JoinInput::FromStream(f.da))
+                    .Input(JoinInput::FromStream(f.db))
+                    .MemoryBytes(bad)
+                    .Explain();
+    EXPECT_FALSE(plan.ok());
+  }
+}
+
+TEST(JoinQuery, FloorBudgetRunsGovernedAndWithinBudget) {
+  QueryFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const auto expected = testing_util::BruteForcePairs(f.a, f.b);
+  for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM}) {
+    CollectingSink sink;
+    auto stats = JoinQuery(joiner)
+                     .Input(JoinInput::FromStream(f.da))
+                     .Input(JoinInput::FromStream(f.db))
+                     .Algorithm(algo)
+                     .MemoryBytes(kMinMemoryBytes)
+                     .Run(&sink);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
+    EXPECT_GT(stats->peak_memory_bytes, 0u) << ToString(algo);
+    EXPECT_LE(stats->peak_memory_bytes, kMinMemoryBytes) << ToString(algo);
+    EXPECT_FALSE(stats->memory_components.empty()) << ToString(algo);
+  }
+}
+
+TEST(JoinQuery, ExplainReportsTheGrantBreakdown) {
+  QueryFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  auto plan = JoinQuery(joiner)
+                  .Input(JoinInput::FromStream(f.da))
+                  .Input(JoinInput::FromStream(f.db))
+                  .Explain();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->memory.empty());
+  EXPECT_EQ(plan->memory.budget_bytes, JoinOptions().memory_bytes);
+  EXPECT_GT(plan->memory.GrantFor(grants::kSortRuns), 0u);
+  EXPECT_GT(plan->memory.GrantFor(grants::kSweep), 0u);
+  const std::string described = plan->Describe();
+  EXPECT_NE(described.find("mem budget"), std::string::npos) << described;
+  EXPECT_NE(described.find(grants::kSortRuns), std::string::npos) << described;
+}
+
 TEST(JoinQueryErrors, RefineWithoutFeaturesNamesTheInput) {
   QueryFixture f;
   SpatialJoiner joiner(&f.td.disk, JoinOptions());

@@ -98,6 +98,41 @@ TEST(Planner, TouchedFractionTracksExtentOverlap) {
   EXPECT_NEAR(d.touched_fraction, 0.5, 0.05);
 }
 
+TEST(Planner, TightBudgetShiftsCrossoverTowardTheIndex) {
+  // The cost model prices the streaming plan at its *granted* sort
+  // memory: a touched fraction just above break-even streams under the
+  // comfortable default budget, but a tight budget adds external-sort
+  // merge passes to the streaming side and flips the same join to the
+  // index plan.
+  TreeFixture f(40000);
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  // A small stream against a large tree: the streaming plan's cost is
+  // dominated by flattening and sorting the indexed side. The 25 %
+  // extent overlap sits just above the comfortable break-even fraction,
+  // inside the band the tight budget's extra merge passes flip.
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 25, 100));
+
+  const PlanDecision comfortable = joiner.Plan(a, b);
+  EXPECT_EQ(comfortable.algorithm, JoinAlgorithm::kSSSJ);
+  EXPECT_GT(comfortable.touched_fraction,
+            joiner.cost_model().IndexBreakEvenFraction());
+
+  JoinOptions tight;
+  tight.memory_bytes = kMinMemoryBytes;
+  const PlanDecision constrained =
+      joiner.Plan(a, b, nullptr, nullptr, tight);
+  EXPECT_EQ(constrained.algorithm, JoinAlgorithm::kPQ)
+      << constrained.Describe();
+  EXPECT_GT(constrained.stream_cost_seconds,
+            comfortable.stream_cost_seconds);
+
+  // Both decisions carry the chosen algorithm's grant breakdown.
+  EXPECT_EQ(comfortable.memory.GrantFor(grants::kSortRuns),
+            JoinOptions().memory_bytes / 2);
+  EXPECT_GT(constrained.memory.GrantFor(grants::kPqQueue), 0u);
+}
+
 TEST(Planner, HistogramsRefineTheExtentOnlyEstimate) {
   TreeFixture f;
   SpatialJoiner joiner(&f.td.disk, JoinOptions());

@@ -64,7 +64,11 @@ TEST(SSSJStrip, HandlesAdversarialDataThePlainSweepCannot) {
   EXPECT_LE(stats->max_sweep_bytes, tiny.memory_bytes);
 }
 
-TEST(SSSJStripDeathTest, PlainSweepDetectsStructureOverflow) {
+TEST(SSSJStripDeathTest, StrictArbiterAbortsOnUngovernedSweepGrowth) {
+  // The always-active columns defeat the sweep grant's square-root
+  // estimate; a *strict* arbiter turns that ungoverned growth into an
+  // abort (the old hard SJ_CHECK, now opt-in via
+  // JoinOptions::strict_memory_accounting).
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
@@ -76,10 +80,38 @@ TEST(SSSJStripDeathTest, PlainSweepDetectsStructureOverflow) {
         const DatasetRef db = MakeDataset(&td, b, "b", &keep);
         JoinOptions tiny;
         tiny.memory_bytes = 64u << 10;
+        tiny.strict_memory_accounting = true;
         CountingSink sink;
         SSSJJoin(da, db, &td.disk, tiny, &sink).status();
       },
-      "exceeded memory");
+      "ungoverned allocation");
+}
+
+TEST(SSSJStrip, PlainSweepRecordsOvershootInsteadOfAborting) {
+  // Same adversarial input without strict accounting: the join stays
+  // exact and the overshoot surfaces in the memory high-water marks
+  // (usage above the sweep grant) rather than killing the process.
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  const auto a = TallColumns(6000, 0.05f, 3);
+  const auto b = TallColumns(6000, 0.05f, 4);
+  const DatasetRef da = MakeDataset(&td, a, "a", &keep);
+  const DatasetRef db = MakeDataset(&td, b, "b", &keep);
+  JoinOptions tiny;
+  tiny.memory_bytes = 64u << 10;
+  CollectingSink sink;
+  auto stats = SSSJJoin(da, db, &td.disk, tiny, &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
+  EXPECT_GT(stats->max_sweep_bytes, tiny.memory_bytes);
+  bool recorded = false;
+  for (const MemoryComponentStats& c : stats->memory_components) {
+    if (c.component == grants::kSweep) {
+      EXPECT_GE(c.used_high_water, stats->max_sweep_bytes);
+      recorded = true;
+    }
+  }
+  EXPECT_TRUE(recorded) << "sweep component missing from memory stats";
 }
 
 TEST(SSSJStrip, WideRectanglesReplicateButReportOnce) {
