@@ -1,0 +1,94 @@
+// The SpatialService in ~60 lines: one process-wide service — a global
+// memory budget, a shared 2Q buffer pool, a shared worker pool — serving
+// several clients at once.
+//
+// Four client threads each submit two queries (different predicates and
+// budgets) through SubmittedQuery handles. The service admits what fits
+// under the global budget, queues or degrades the rest FIFO, and every
+// query still computes exactly its standalone result.
+//
+//   ./examples/concurrent_service
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/join_query.h"
+#include "core/spatial_join.h"
+#include "datagen/tiger_gen.h"
+#include "io/stream.h"
+#include "service/spatial_service.h"
+
+int main() {
+  using namespace sj;
+
+  DiskModel disk(MachineModel::Machine3());
+  TigerGenerator gen(/*seed=*/2024);
+  std::vector<RectF> roads, hydro;
+  gen.GenerateRoads(80000, &roads);
+  gen.GenerateHydro(20000, &hydro);
+
+  auto roads_pager = MakeMemoryPager(&disk, "roads");
+  auto hydro_pager = MakeMemoryPager(&disk, "hydro");
+  auto write = [](Pager* pager, const std::vector<RectF>& rects) {
+    StreamWriter<RectF> writer(pager);
+    for (const RectF& r : rects) writer.Append(r);
+    DatasetRef ref;
+    ref.range = StreamRange{pager, 0, writer.Finish().value()};
+    ref.extent = TigerGenerator::DefaultRegion();
+    return ref;
+  };
+  const DatasetRef roads_ref = write(roads_pager.get(), roads);
+  const DatasetRef hydro_ref = write(hydro_pager.get(), hydro);
+  SpatialJoiner joiner(&disk, JoinOptions());
+
+  // One service for the whole process: 32 MB across all admitted queries
+  // (each query asks for 16 MB, so at most two run full-budget at a time;
+  // later ones queue or run degraded), 2 workers, a small shared pool.
+  ServiceOptions options;
+  options.global_memory_bytes = 32u << 20;
+  options.worker_threads = 2;
+  options.buffer_pool_pages = 512;
+  SpatialService service(options);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 2; ++i) {
+        JoinQuery query(joiner);
+        query.Input(JoinInput::FromStream(roads_ref))
+            .Input(JoinInput::FromStream(hydro_ref))
+            .MemoryBytes(16u << 20);
+        if (i == 1) query.Predicate(Predicate::kDistanceWithin, 0.001);
+        CountingSink sink;
+        SubmittedQuery handle = service.Submit(query, &sink);
+        const auto& result = handle.Result();  // Waits.
+        if (!result.ok()) {
+          std::fprintf(stderr, "client %d query %d: %s\n", c, i,
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+        std::printf("client %d query %d (%s): %llu pairs, %s%zu MB grant\n",
+                    c, i, i == 0 ? "intersects" : "distance<0.001",
+                    static_cast<unsigned long long>(sink.count()),
+                    handle.degraded() ? "degraded " : "",
+                    handle.granted_bytes() >> 20);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServiceStats stats = service.stats();
+  std::printf(
+      "\nservice: %llu submitted, %llu full + %llu degraded admissions\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted_full),
+      static_cast<unsigned long long>(stats.admitted_degraded));
+  std::printf("global peak %.1f MB within the %.1f MB budget; shared pool "
+              "%llu hits / %llu requests\n",
+              stats.global_peak_bytes / 1048576.0,
+              options.global_memory_bytes / 1048576.0,
+              static_cast<unsigned long long>(stats.pool.hits),
+              static_cast<unsigned long long>(stats.pool.requests));
+  return stats.global_peak_bytes <= options.global_memory_bytes ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 
 #include "io/stream.h"
 #include "refine/refine.h"
+#include "service/spatial_service.h"
 #include "util/timer.h"
 
 namespace sj {
@@ -118,8 +119,11 @@ Result<CompiledPlan> JoinQuery::Compile(bool multiway, bool plan_only) {
         " B (kMinMemoryBytes, 64 KiB); raise JoinQuery::MemoryBytes / "
         "JoinOptions::memory_bytes");
   }
-  plan.arbiter = std::make_shared<MemoryArbiter>(
-      options_.memory_bytes, options_.strict_memory_accounting);
+  plan.arbiter = arbiter_override_ != nullptr
+                     ? arbiter_override_
+                     : std::make_shared<MemoryArbiter>(
+                           options_.memory_bytes,
+                           options_.strict_memory_accounting);
 
   if (multiway) {
     if (inputs_.size() < 2) {
@@ -221,6 +225,19 @@ Result<PlanDecision> JoinQuery::Explain() {
 }
 
 Result<JoinStats> JoinQuery::Run(JoinSink* sink) {
+  // The single-query service: an inline scheduler owning exactly this
+  // query's budget (no shared workers, no shared pool), so the standalone
+  // path and the multi-tenant path execute the same admission + execution
+  // code and report errors through the same taxonomy.
+  ServiceOptions service_options;
+  service_options.global_memory_bytes = options_.memory_bytes;
+  service_options.worker_threads = 0;
+  service_options.buffer_pool_pages = 0;
+  SpatialService service(service_options);
+  return service.Run(*this, sink);
+}
+
+Result<JoinStats> JoinQuery::RunDirect(JoinSink* sink) {
   SJ_ASSIGN_OR_RETURN(CompiledPlan plan, Compile(/*multiway=*/false));
   const JoinExecutor* executor = FindExecutor(plan.decision.algorithm);
   if (executor == nullptr) {

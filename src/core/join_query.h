@@ -2,6 +2,7 @@
 #define USJ_CORE_JOIN_QUERY_H_
 
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -97,6 +98,16 @@ class JoinQuery {
   JoinOptions& mutable_options() { return options_; }
   const JoinOptions& options() const { return options_; }
 
+  /// Service plumbing: executes this query against an externally owned
+  /// arbiter (a child the SpatialService carved out of its global budget)
+  /// instead of a fresh per-query one. The arbiter's budget should match
+  /// the query's memory_bytes; grants, peaks, and strict-mode behaviour
+  /// are unchanged. Most callers never touch this.
+  JoinQuery& UseArbiter(std::shared_ptr<MemoryArbiter> arbiter) {
+    arbiter_override_ = std::move(arbiter);
+    return *this;
+  }
+
   /// Compiles the query and returns the planner's decision without
   /// executing anything (EXPLAIN). Reflects forced algorithms and
   /// predicate transforms exactly as Run would see them.
@@ -105,14 +116,28 @@ class JoinQuery {
   /// Runs the pairwise pipeline (exactly 2 inputs): compile, execute the
   /// filter through the registry, apply refinement when enabled. Results
   /// go to `sink` as (id from input 0, id from input 1) pairs.
+  ///
+  /// This is a thin synchronous wrapper over a single-query
+  /// SpatialService (service/spatial_service.h): the query is submitted
+  /// to an inline service owning exactly this query's budget, admitted in
+  /// full, executed on the calling thread, and its result returned — so
+  /// the standalone and the multi-tenant paths are one code path, and
+  /// every error comes back through the same Status taxonomy.
   Result<JoinStats> Run(JoinSink* sink);
 
   /// Runs the k-way pipeline (>= 2 inputs, Predicate::kIntersects only):
   /// tuples of ids, one per input, whose MBRs share a common point —
-  /// refined against exact geometry when Refine(true).
+  /// refined against exact geometry when Refine(true). Executes directly
+  /// (the service schedules pairwise queries; a k-way query submitted
+  /// through a service runs under its arbiter via UseArbiter).
   Result<MultiwayStats> Run(TupleSink* sink);
 
  private:
+  friend class SpatialService;
+
+  /// The pairwise execution body (compile + executor dispatch +
+  /// refinement), shared by the Run() wrapper and the service's workers.
+  Result<JoinStats> RunDirect(JoinSink* sink);
   template <typename Fn>
   JoinQuery& Mutate(Fn&& fn) {
     fn(options_);
@@ -135,6 +160,8 @@ class JoinQuery {
   PredicateSpec predicate_;
   JoinAlgorithm algorithm_ = JoinAlgorithm::kAuto;
   JoinOptions options_;
+  /// Set via UseArbiter (service mode); null = Compile creates one.
+  std::shared_ptr<MemoryArbiter> arbiter_override_;
 };
 
 }  // namespace sj

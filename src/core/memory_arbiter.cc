@@ -73,6 +73,22 @@ void MemoryGrant::Release() {
 MemoryArbiter::MemoryArbiter(size_t budget_bytes, bool strict)
     : budget_(budget_bytes), strict_(strict) {}
 
+MemoryArbiter::~MemoryArbiter() {
+  if (parent_grant_.active()) {
+    // Tell the parent how much of the carved slice was actually at peak —
+    // the global arbiter's per-query used high-water marks.
+    parent_grant_.NoteUsage(peak_bytes());
+  }
+}
+
+Result<std::shared_ptr<MemoryArbiter>> MemoryArbiter::CarveChild(
+    std::string component, size_t bytes, bool strict) {
+  SJ_ASSIGN_OR_RETURN(MemoryGrant slice, Acquire(std::move(component), bytes));
+  auto child = std::make_shared<MemoryArbiter>(bytes, strict);
+  child->parent_grant_ = std::move(slice);
+  return child;
+}
+
 void MemoryArbiter::AddLocked(const std::string& component, size_t bytes) {
   in_use_ += bytes;
   peak_ = std::max(peak_, in_use_);

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -120,9 +121,24 @@ struct MemoryComponentStats {
 class MemoryArbiter {
  public:
   explicit MemoryArbiter(size_t budget_bytes, bool strict = false);
+  ~MemoryArbiter();
 
   MemoryArbiter(const MemoryArbiter&) = delete;
   MemoryArbiter& operator=(const MemoryArbiter&) = delete;
+
+  /// Carves `bytes` out of this arbiter as a *child* arbiter with its own
+  /// budget — the service's per-query arbiters under the one global
+  /// budget. The child holds a `component`-named grant for its whole
+  /// budget in this (parent) arbiter until the child dies, so the parent's
+  /// in_use/peak always covers the sum of admitted query budgets and
+  /// Acquire()'s denial rule makes global over-subscription impossible by
+  /// construction. On destruction the child also reports its peak as the
+  /// parent grant's usage, giving the global arbiter per-query used
+  /// high-water marks. Fails with ResourceExhausted when the remaining
+  /// parent budget cannot cover `bytes`.
+  Result<std::shared_ptr<MemoryArbiter>> CarveChild(std::string component,
+                                                    size_t bytes,
+                                                    bool strict = false);
 
   /// Grants exactly `bytes` to `component`, or ResourceExhausted when the
   /// remaining budget cannot cover it.
@@ -176,6 +192,9 @@ class MemoryArbiter {
 
   const size_t budget_;
   const bool strict_;
+  /// Set on children made by CarveChild: the slice of the parent's budget
+  /// this arbiter governs, returned when the child dies.
+  MemoryGrant parent_grant_;
   mutable std::mutex mu_;
   size_t in_use_ = 0;
   size_t peak_ = 0;

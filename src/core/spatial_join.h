@@ -66,6 +66,9 @@ class SpatialJoiner {
   /// New code should build the JoinQuery directly: it attaches histograms
   /// to inputs instead of a positional tail, overrides any option per
   /// query, and selects non-intersection predicates.
+  [[deprecated(
+      "build a JoinQuery instead: JoinQuery(joiner).Input(a).Input(b)"
+      ".Run(sink) — see the migration table in README.md")]]
   Result<JoinStats> Join(const JoinInput& a, const JoinInput& b,
                          JoinSink* sink,
                          JoinAlgorithm algorithm = JoinAlgorithm::kAuto,
@@ -75,6 +78,9 @@ class SpatialJoiner {
   /// Legacy k-way entry point (§4's extension) — equivalent to a
   /// JoinQuery with every element of `inputs` added via Input() and run
   /// against a TupleSink.
+  [[deprecated(
+      "build a JoinQuery instead: add each input with .Input() and Run "
+      "against a TupleSink — see the migration table in README.md")]]
   Result<MultiwayStats> MultiwayJoin(const std::vector<JoinInput>& inputs,
                                      TupleSink* sink);
 

@@ -8,50 +8,224 @@ namespace sj {
 
 BufferPool::BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {
   SJ_CHECK(capacity_ > 0) << "buffer pool needs at least one frame";
+  client_stats_.emplace_back();  // Client 0: unattributed.
 }
 
-Status BufferPool::Get(Pager* pager, PageId page, void* buf) {
+uint32_t BufferPool::RegisterClient(std::string name) {
+  (void)name;  // Kept in the signature for symmetry with grant components.
+  std::lock_guard<std::mutex> lock(mu_);
+  client_stats_.emplace_back();
+  return static_cast<uint32_t>(client_stats_.size() - 1);
+}
+
+void BufferPool::BumpClientLocked(uint32_t client, bool hit) {
+  if (client >= client_stats_.size()) client = 0;
+  BufferPoolStats& s = client_stats_[client];
+  s.requests++;
+  if (hit) {
+    s.hits++;
+  } else {
+    s.misses++;
+  }
+}
+
+Result<std::shared_ptr<BufferPool::Frame>> BufferPool::GetFrameLocked(
+    std::unique_lock<std::mutex>& lock, Pager* pager, PageId page,
+    uint32_t client) {
   stats_.requests++;
-  const FrameKey key = MakeKey(pager, page);
+  const FrameKey key{pager, page};
   auto it = frames_.find(key);
   if (it != frames_.end()) {
+    std::shared_ptr<Frame> frame = it->second;
+    // A waiter on a loading frame is a hit: only the installing thread
+    // reaches the disk, so misses stay equal to modeled page reads.
     stats_.hits++;
-    // Move to MRU position.
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(key);
-    it->second.lru_pos = lru_.begin();
-    std::memcpy(buf, it->second.data.get(), kPageSize);
-    return Status::OK();
+    BumpClientLocked(client, /*hit=*/true);
+    frame->pins++;  // Survives the latch wait and the caller's use.
+    while (frame->loading) load_cv_.wait(lock);
+    if (!frame->load_status.ok()) {
+      frame->pins--;
+      return frame->load_status;
+    }
+    if (frame->queue == Queue::kAm) {
+      am_.splice(am_.begin(), am_, frame->pos);  // Touch: move to MRU.
+    }
+    // A trial-queue (A1in) hit is left in place: 2Q promotes on the
+    // *second life* — a re-read after eviction from the trial queue —
+    // not on correlated re-references within it.
+    return frame;
   }
+
   stats_.misses++;
-  SJ_RETURN_IF_ERROR(pager->ReadPage(page, buf));
-  if (frames_.size() >= capacity_) {
-    const FrameKey victim = lru_.back();
-    lru_.pop_back();
-    frames_.erase(victim);
+  BumpClientLocked(client, /*hit=*/false);
+  auto frame = std::make_shared<Frame>();
+  frame->data = std::make_unique<uint8_t[]>(kPageSize);
+  frame->pins = 1;
+  auto ghost = ghost_index_.find(key);
+  if (ghost != ghost_index_.end()) {
+    // Seen before and evicted from the trial queue: proven reuse, admit
+    // straight into the hot list.
+    a1out_.erase(ghost->second);
+    ghost_index_.erase(ghost);
+    frame->queue = Queue::kAm;
+    am_.push_front(key);
+    frame->pos = am_.begin();
+  } else {
+    frame->queue = Queue::kA1in;
+    a1in_.push_back(key);
+    frame->pos = std::prev(a1in_.end());
   }
-  Frame frame;
-  frame.data = std::make_unique<uint8_t[]>(kPageSize);
-  std::memcpy(frame.data.get(), buf, kPageSize);
-  lru_.push_front(key);
-  frame.lru_pos = lru_.begin();
-  frames_.emplace(key, std::move(frame));
+  frames_.emplace(key, frame);
+  while (frames_.size() > capacity_ && EvictOneLocked()) {
+  }
+
+  // Latched load: readers of other pages proceed, readers of this page
+  // queue on load_cv_.
+  lock.unlock();
+  Status s = pager->ReadPage(page, frame->data.get());
+  lock.lock();
+  frame->loading = false;
+  frame->load_status = s;
+  load_cv_.notify_all();
+  if (!s.ok()) {
+    frame->pins--;
+    DropFrameLocked(key, frame);
+    return s;
+  }
+  return frame;
+}
+
+Status BufferPool::Get(Pager* pager, PageId page, void* buf, uint32_t client) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto frame = GetFrameLocked(lock, pager, page, client);
+  if (!frame.ok()) return frame.status();
+  std::memcpy(buf, (*frame)->data.get(), kPageSize);
+  (*frame)->pins--;
   return Status::OK();
 }
 
+Result<BufferPool::PageRef> BufferPool::Pin(Pager* pager, PageId page,
+                                            uint32_t client) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SJ_ASSIGN_OR_RETURN(std::shared_ptr<Frame> frame,
+                      GetFrameLocked(lock, pager, page, client));
+  return PageRef(this, std::move(frame));  // Adopts GetFrameLocked's pin.
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SJ_CHECK(frame->pins > 0) << "unbalanced unpin";
+  frame->pins--;
+}
+
+void BufferPool::PageRef::Reset() {
+  if (pool_ != nullptr && frame_ != nullptr) pool_->Unpin(frame_.get());
+  pool_ = nullptr;
+  frame_.reset();
+}
+
+bool BufferPool::EvictOneLocked() {
+  auto evict_from_a1in = [this]() -> bool {
+    for (auto it = a1in_.begin(); it != a1in_.end(); ++it) {
+      const std::shared_ptr<Frame>& f = frames_.find(*it)->second;
+      if (f->pins != 0 || f->loading) continue;
+      const FrameKey key = *it;
+      // Remember the trial eviction so a re-read promotes to Am.
+      a1out_.push_back(key);
+      ghost_index_[key] = std::prev(a1out_.end());
+      while (a1out_.size() > KoutTarget()) {
+        ghost_index_.erase(a1out_.front());
+        a1out_.pop_front();
+      }
+      a1in_.erase(it);
+      frames_.erase(key);
+      return true;
+    }
+    return false;
+  };
+  auto evict_from_am = [this]() -> bool {
+    for (auto it = am_.rbegin(); it != am_.rend(); ++it) {  // LRU end first.
+      const std::shared_ptr<Frame>& f = frames_.find(*it)->second;
+      if (f->pins != 0 || f->loading) continue;
+      const FrameKey key = *it;
+      am_.erase(std::next(it).base());
+      frames_.erase(key);  // Hot evictions are not ghosted (classic 2Q).
+      return true;
+    }
+    return false;
+  };
+  // 2Q reclaim: drain the trial queue while it exceeds its share (or the
+  // hot list is empty), otherwise evict the coldest hot page. Pinned and
+  // loading frames are skipped; when nothing is evictable the pool
+  // transiently overflows instead of blocking.
+  if (a1in_.size() > KinTarget() || am_.empty()) {
+    return evict_from_a1in() || evict_from_am();
+  }
+  return evict_from_am() || evict_from_a1in();
+}
+
+void BufferPool::DropFrameLocked(const FrameKey& key,
+                                 const std::shared_ptr<Frame>& f) {
+  if (f->queue == Queue::kA1in) {
+    a1in_.erase(f->pos);
+  } else {
+    am_.erase(f->pos);
+  }
+  frames_.erase(key);
+}
+
 void BufferPool::Clear() {
-  lru_.clear();
-  frames_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pinned or still-loading frames stay (their holders rely on them);
+  // everything else, including the ghost memory, goes.
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    const std::shared_ptr<Frame>& f = it->second;
+    if (f->pins == 0 && !f->loading) {
+      if (f->queue == Queue::kA1in) {
+        a1in_.erase(f->pos);
+      } else {
+        am_.erase(f->pos);
+      }
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  a1out_.clear();
+  ghost_index_.clear();
 }
 
 void BufferPool::SetCapacity(size_t capacity_pages) {
   SJ_CHECK(capacity_pages > 0) << "buffer pool needs at least one frame";
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity_pages;
-  while (frames_.size() > capacity_) {
-    const FrameKey victim = lru_.back();
-    lru_.pop_back();
-    frames_.erase(victim);
+  while (frames_.size() > capacity_ && EvictOneLocked()) {
   }
+  while (a1out_.size() > KoutTarget()) {
+    ghost_index_.erase(a1out_.front());
+    a1out_.pop_front();
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BufferPoolStats BufferPool::client_stats(uint32_t client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (client >= client_stats_.size()) return {};
+  return client_stats_[client];
+}
+
+size_t BufferPool::capacity_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+size_t BufferPool::cached_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
 }
 
 }  // namespace sj

@@ -1,12 +1,19 @@
 #ifndef USJ_IO_BUFFER_POOL_H_
 #define USJ_IO_BUFFER_POOL_H_
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "io/pager.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace sj {
@@ -19,62 +26,175 @@ struct BufferPoolStats {
   uint64_t requests = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
+
+  BufferPoolStats operator-(const BufferPoolStats& o) const {
+    return {requests - o.requests, hits - o.hits, misses - o.misses};
+  }
 };
 
-/// A least-recently-used page cache shared by any number of pagers (ST
-/// keeps the nodes of *both* R-trees in one pool, as in the paper).
+/// A thread-safe page cache shared by any number of pagers and any number
+/// of concurrent queries (the service keeps *one* pool for the whole
+/// process; ST keeps the nodes of both R-trees of a join in it, as in the
+/// paper).
 ///
-/// Single-threaded by design: only ST uses a pool, and ST is one stream
-/// of control, as in the paper. (The parallel engine's workers never
-/// share a pool — each runs against its own DiskModel shard.) Get()
-/// copies the page into the caller's buffer, so eviction can never
-/// invalidate data a caller still holds.
+/// Replacement is 2Q [Johnson & Shasha, VLDB'94], which a single global
+/// pool needs where the old per-query pool could get away with LRU: one
+/// query's sequential partition scan must not flush another query's hot
+/// R-tree upper levels. Newly admitted pages enter a FIFO trial queue
+/// (A1in, ~1/4 of capacity); pages re-read after leaving the trial queue —
+/// proven reuse — are promoted to the hot LRU list (Am). A ghost list of
+/// evicted-from-trial keys (A1out, ~1/2 of capacity, keys only) remembers
+/// whom to promote.
+///
+/// Frames are *latched*: a miss installs a frame in `loading` state,
+/// releases the pool mutex for the (modeled) disk read, and wakes waiters
+/// when the bytes arrive. Concurrent requesters of a loading page block on
+/// the latch and count as hits — only the loading thread counts the miss,
+/// which preserves the misses == disk-reads invariant under concurrency.
+///
+/// Get() copies the page into the caller's buffer, so eviction can never
+/// invalidate data a caller still holds; Pin() instead returns a PageRef
+/// that keeps the frame resident (pinned and loading frames are skipped by
+/// eviction; when every frame is pinned the pool transiently overflows
+/// rather than deadlocking, mirroring how MemoryArbiter grants degrade).
+///
+/// Per-query attribution: each client registers once (RegisterClient) and
+/// passes its id to Get/Pin; client_stats(id) then yields hit/miss deltas
+/// that executors fold into JoinStats.
 class BufferPool {
  public:
+  class PageRef;
+
   /// `capacity_pages` > 0.
   explicit BufferPool(size_t capacity_pages);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Reads `page` of `pager` through the cache into `buf` (kPageSize
-  /// bytes). `pager` must outlive the pool.
-  Status Get(Pager* pager, PageId page, void* buf);
+  /// Registers a stats client (one per query) and returns its id. Id 0 is
+  /// the pre-registered "unattributed" client used when callers do not
+  /// pass one.
+  uint32_t RegisterClient(std::string name);
 
-  /// Drops all cached pages (stats are retained).
+  /// Reads `page` of `pager` through the cache into `buf` (kPageSize
+  /// bytes). `pager` must outlive the pool's frames for it (see Clear()).
+  /// Thread-safe; blocks only while another thread loads the same page.
+  Status Get(Pager* pager, PageId page, void* buf, uint32_t client = 0);
+
+  /// Like Get() but returns a pinned zero-copy reference to the cached
+  /// frame instead of copying it out. The frame cannot be evicted while
+  /// the PageRef lives. Refs must not outlive the pool.
+  Result<PageRef> Pin(Pager* pager, PageId page, uint32_t client = 0);
+
+  /// Drops all cached pages except pinned or in-flight ones (stats are
+  /// retained). Call when a pager is about to die so no frame outlives it.
   void Clear();
 
-  /// Resizes the pool to `capacity_pages` (> 0), evicting LRU frames when
-  /// shrinking below the current working set. Complements the
+  /// Resizes the pool to `capacity_pages` (> 0), evicting by replacement
+  /// order when shrinking below the current working set. Complements the
   /// grant-backed sizing in STJoin (which fixes the capacity at
   /// construction from its "buffer.pool" grant): a long-lived pool can
   /// track a grant that grows or shrinks mid-flight.
   void SetCapacity(size_t capacity_pages);
 
-  const BufferPoolStats& stats() const { return stats_; }
-  size_t capacity_pages() const { return capacity_; }
-  size_t cached_pages() const { return frames_.size(); }
+  /// Consistent snapshots (by value: counters may move concurrently).
+  BufferPoolStats stats() const;
+  BufferPoolStats client_stats(uint32_t client) const;
+
+  size_t capacity_pages() const;
+  size_t cached_pages() const;
 
   /// Capacity corresponding to the paper's 22 MB pool of 8 KB pages.
   static constexpr size_t kPaperCapacityPages = (22u << 20) / kPageSize;
 
  private:
-  /// Frames are keyed by (device id, page id): device ids are unique per
-  /// DiskModel and a pool is only ever used with pagers of one model.
-  using FrameKey = uint64_t;
-  static FrameKey MakeKey(const Pager* pager, PageId page) {
-    return (static_cast<uint64_t>(pager->device_id()) << 32) | page;
-  }
+  /// Frames are keyed by (pager, page): device ids are only unique per
+  /// DiskModel, and the process-wide pool serves pagers of many models.
+  using FrameKey = std::pair<const Pager*, PageId>;
+  struct KeyHash {
+    size_t operator()(const FrameKey& k) const {
+      return std::hash<const void*>()(k.first) * 1000003u ^
+             std::hash<uint64_t>()(k.second);
+    }
+  };
+
+  enum class Queue : uint8_t { kA1in, kAm };
 
   struct Frame {
     std::unique_ptr<uint8_t[]> data;
-    std::list<FrameKey>::iterator lru_pos;
+    bool loading = true;
+    Status load_status;
+    uint32_t pins = 0;
+    Queue queue = Queue::kA1in;
+    std::list<FrameKey>::iterator pos;  // In a1in_ or am_ per `queue`.
   };
 
+  size_t KinTarget() const { return std::max<size_t>(1, capacity_ / 4); }
+  size_t KoutTarget() const { return std::max<size_t>(1, capacity_ / 2); }
+
+  /// Finds-or-installs the frame and waits out a concurrent load. On
+  /// return the frame is resident and its pin count was raised by one (so
+  /// it survives the caller's use); the caller must drop the pin. Caller
+  /// must hold `lock`.
+  Result<std::shared_ptr<Frame>> GetFrameLocked(
+      std::unique_lock<std::mutex>& lock, Pager* pager, PageId page,
+      uint32_t client);
+
+  /// Evicts one unpinned, loaded frame per 2Q order; returns false when
+  /// every frame is pinned or loading (transient overflow). Caller must
+  /// hold mu_.
+  bool EvictOneLocked();
+  /// Removes `key`'s frame from the map and its queue. Caller must hold
+  /// mu_.
+  void DropFrameLocked(const FrameKey& key, const std::shared_ptr<Frame>& f);
+  void Unpin(Frame* frame);
+  void BumpClientLocked(uint32_t client, bool hit);
+
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;  // Signaled when any load finishes.
   size_t capacity_;
   BufferPoolStats stats_;
-  std::list<FrameKey> lru_;  // Front = most recently used.
-  std::unordered_map<FrameKey, Frame> frames_;
+  std::vector<BufferPoolStats> client_stats_;
+  std::list<FrameKey> a1in_;  // FIFO trial queue: front = oldest.
+  std::list<FrameKey> am_;    // Hot LRU: front = MRU, back = LRU.
+  std::list<FrameKey> a1out_;  // Ghost keys: front = oldest.
+  std::unordered_map<FrameKey, std::list<FrameKey>::iterator, KeyHash>
+      ghost_index_;
+  std::unordered_map<FrameKey, std::shared_ptr<Frame>, KeyHash> frames_;
+};
+
+/// A pinned, zero-copy view of one cached page. Move-only; unpins on
+/// destruction.
+class BufferPool::PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& o) noexcept : pool_(o.pool_), frame_(std::move(o.frame_)) {
+    o.pool_ = nullptr;
+  }
+  PageRef& operator=(PageRef&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      pool_ = o.pool_;
+      frame_ = std::move(o.frame_);
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~PageRef() { Reset(); }
+
+  const uint8_t* data() const { return frame_->data.get(); }
+  explicit operator bool() const { return frame_ != nullptr; }
+
+  /// Drops the pin early.
+  void Reset();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, std::shared_ptr<Frame> frame)
+      : pool_(pool), frame_(std::move(frame)) {}
+
+  BufferPool* pool_ = nullptr;
+  std::shared_ptr<Frame> frame_;
 };
 
 }  // namespace sj

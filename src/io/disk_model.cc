@@ -49,8 +49,19 @@ DiskModel::DiskModel(MachineModel machine)
           2, static_cast<size_t>(machine_.disk_buffer_kb / kSegmentKb))) {}
 
 uint32_t DiskModel::RegisterDevice(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   devices_.push_back(DeviceStats{std::move(name)});
   return static_cast<uint32_t>(devices_.size() - 1);
+}
+
+DiskStats DiskModel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<DeviceStats> DiskModel::device_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_;
 }
 
 bool DiskModel::MatchStream(std::vector<Stream>* streams, uint32_t dev,
@@ -84,8 +95,9 @@ bool DiskModel::MatchStream(std::vector<Stream>* streams, uint32_t dev,
 }
 
 void DiskModel::Read(uint32_t dev, uint64_t first_page, uint32_t npages) {
-  SJ_DCHECK(dev < devices_.size());
   if (npages == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SJ_DCHECK(dev < devices_.size());
   const bool sequential = MatchStream(&read_streams_, dev, first_page, npages);
   const double transfer_ms = machine_.PageTransferMs(kPageSize) * npages;
   stats_.io_seconds +=
@@ -102,8 +114,9 @@ void DiskModel::Read(uint32_t dev, uint64_t first_page, uint32_t npages) {
 }
 
 void DiskModel::Write(uint32_t dev, uint64_t first_page, uint32_t npages) {
-  SJ_DCHECK(dev < devices_.size());
   if (npages == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SJ_DCHECK(dev < devices_.size());
   const bool sequential =
       MatchStream(&write_streams_, dev, first_page, npages);
   const double transfer_ms =
@@ -122,6 +135,7 @@ void DiskModel::Write(uint32_t dev, uint64_t first_page, uint32_t npages) {
 }
 
 void DiskModel::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_ = DiskStats{};
   for (DeviceStats& d : devices_) {
     d.pages_read = d.pages_written = 0;

@@ -2,6 +2,7 @@
 #define USJ_IO_DISK_MODEL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,12 @@ struct DeviceStats {
 /// All of the qualitative results of the paper emerge from the access
 /// patterns themselves against this one model; there are no per-algorithm
 /// cost constants.
+///
+/// Thread-safe: charges and stat reads serialize on an internal mutex, so
+/// one model can back the shared BufferPool's latched loads and a query
+/// whose strips run on the shared worker pool. (The parallel join engine
+/// still gives each work unit a private shard — sharding is about keeping
+/// the *modeled* stream state serial-equivalent, not about locking.)
 class DiskModel {
  public:
   explicit DiskModel(MachineModel machine);
@@ -80,8 +87,9 @@ class DiskModel {
   /// Charges a write of `npages` pages starting at `first_page` of `dev`.
   void Write(uint32_t dev, uint64_t first_page, uint32_t npages);
 
-  const DiskStats& stats() const { return stats_; }
-  const std::vector<DeviceStats>& device_stats() const { return devices_; }
+  /// Consistent snapshots (by value: the counters may move concurrently).
+  DiskStats stats() const;
+  std::vector<DeviceStats> device_stats() const;
   const MachineModel& machine() const { return machine_; }
 
   /// Concurrent sequential streams the drive can sustain per direction.
@@ -109,10 +117,12 @@ class DiskModel {
   };
 
   // Returns true (and advances the stream) if the request continues one of
-  // `streams`; otherwise installs a new stream, evicting the LRU.
+  // `streams`; otherwise installs a new stream, evicting the LRU. Caller
+  // must hold mu_.
   bool MatchStream(std::vector<Stream>* streams, uint32_t dev,
                    uint64_t first_page, uint32_t npages);
 
+  mutable std::mutex mu_;
   MachineModel machine_;
   DiskStats stats_;
   std::vector<DeviceStats> devices_;

@@ -65,7 +65,7 @@ class BFSRunner {
     return Status::OK();
   }
 
-  const BufferPoolStats& pool_stats() const { return pool_.stats(); }
+  BufferPoolStats pool_stats() const { return pool_.stats(); }
 
  private:
   Status LoadOverlapping(const RTree& tree, PageId page, const RectF& window,
@@ -167,8 +167,9 @@ Result<JoinStats> BFSJoin(const RTree& a, const RTree& b, DiskModel* disk,
       disk->device_stats()[a.pager()->device_id()].pages_read +
       disk->device_stats()[b.pager()->device_id()].pages_read -
       index_reads_before;
-  stats.pool_requests = runner.pool_stats().requests;
-  stats.pool_hits = runner.pool_stats().hits;
+  const BufferPoolStats pool_stats = runner.pool_stats();
+  stats.pool_requests = pool_stats.requests;
+  stats.pool_hits = pool_stats.hits;
   stats.max_queue_bytes = max_pairs_bytes;
   return stats;
 }

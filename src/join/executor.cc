@@ -61,6 +61,48 @@ std::string PlanDecision::Describe() const {
   return os.str();
 }
 
+std::vector<std::pair<std::string, std::string>> PlanDecision::ToKeyValues()
+    const {
+  std::vector<std::pair<std::string, std::string>> kv;
+  auto num = [](double v) {
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+  };
+  kv.emplace_back("algorithm", ToString(algorithm));
+  kv.emplace_back("touched_fraction", num(touched_fraction));
+  kv.emplace_back("stream_cost_seconds", num(stream_cost_seconds));
+  kv.emplace_back("index_cost_seconds", num(index_cost_seconds));
+  if (refine_cost_seconds > 0.0) {
+    kv.emplace_back("refine_cost_seconds", num(refine_cost_seconds));
+  }
+  if (pbsm_partitions > 0) {
+    kv.emplace_back("pbsm.adaptive", pbsm_adaptive ? "true" : "false");
+    kv.emplace_back("pbsm.tiles_per_axis",
+                    std::to_string(pbsm_tiles_per_axis));
+    kv.emplace_back("pbsm.partitions", std::to_string(pbsm_partitions));
+    if (pbsm_leaf_tiles > 0) {
+      kv.emplace_back("pbsm.leaf_tiles", std::to_string(pbsm_leaf_tiles));
+    }
+    if (histogram_build_seconds > 0.0) {
+      kv.emplace_back("pbsm.histogram_build_seconds",
+                      num(histogram_build_seconds));
+    }
+    kv.emplace_back("pbsm.cost_seconds", num(pbsm_cost_seconds));
+  }
+  if (!memory.empty()) {
+    kv.emplace_back("memory.budget_bytes",
+                    std::to_string(memory.budget_bytes));
+    for (const MemoryGrantSpec& g : memory.grants) {
+      kv.emplace_back("memory.grant." + g.component,
+                      std::to_string(g.bytes));
+    }
+  }
+  kv.emplace_back("rationale", rationale);
+  return kv;
+}
+
 MemoryPlan PlanJoinMemory(JoinAlgorithm algo, const JoinOptions& options,
                           uint64_t input_bytes) {
   MemoryPlan plan;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "histogram/grid_histogram.h"
@@ -129,6 +130,17 @@ struct PlanDecision {
   /// One human-readable line: algorithm, touched fraction, both plan
   /// costs, the grant breakdown, and the rationale.
   std::string Describe() const;
+
+  /// The decision as ordered key/value pairs — the structured form of
+  /// Describe() for machine consumers (tests asserting on plan fields,
+  /// bench result tables, service introspection). Always present:
+  /// "algorithm", "touched_fraction", "stream_cost_seconds",
+  /// "index_cost_seconds", "rationale". Conditionally (when the planner
+  /// computed them): "refine_cost_seconds", the "pbsm.*" partitioning
+  /// group, "memory.budget_bytes" and one "memory.grant.<component>" per
+  /// planned grant. Numeric values use %.6g / plain integers, so tests
+  /// can parse them back without locale surprises.
+  std::vector<std::pair<std::string, std::string>> ToKeyValues() const;
 };
 
 std::ostream& operator<<(std::ostream& os, const PlanDecision& decision);

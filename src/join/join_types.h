@@ -19,6 +19,8 @@
 
 namespace sj {
 
+class ThreadPool;
+
 /// A non-indexed input relation: a stream of MBR records plus its spatial
 /// extent. If `extent` is invalid (RectF::Empty()), algorithms that need
 /// it compute it with an extra scan.
@@ -95,6 +97,20 @@ struct JoinOptions {
   /// also bounds the feature pages a batch pins in memory (at most one
   /// page per candidate and side).
   uint32_t refine_batch_pairs = 1024;
+  /// Shared worker pool (service mode). When set, the parallel phases
+  /// submit their work as task groups to this pool — up to num_threads
+  /// runners each — instead of spawning a private team, so concurrent
+  /// queries interleave fairly on one fixed set of threads. Null = the
+  /// standalone behaviour (private per-call pools). Not owned.
+  ThreadPool* worker_pool = nullptr;
+  /// Shared page cache (service mode). When set, ST serves its R-tree
+  /// reads through this process-wide pool (attributed under
+  /// buffer_pool_client) instead of building a private pool sized by a
+  /// "buffer.pool" grant. Null = the standalone behaviour. Not owned.
+  BufferPool* shared_buffer_pool = nullptr;
+  /// Stats client id in shared_buffer_pool (from RegisterClient) that
+  /// this query's pool traffic is attributed to.
+  uint32_t buffer_pool_client = 0;
 };
 
 /// Everything measured about one join execution.

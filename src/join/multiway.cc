@@ -283,7 +283,7 @@ Result<MultiwayStats> MultiwayJoinStreams(const std::vector<DatasetRef>& inputs,
   }
 
   SJ_RETURN_IF_ERROR(ParallelFor(
-      options.num_threads, map.strips(), [&](uint64_t s) -> Status {
+      options.worker_pool, options.num_threads, map.strips(), [&](uint64_t s) -> Status {
         StripTask& t = tasks[s];
         ThreadCpuTimer cpu;
         TupleSink* out = pooled ? static_cast<TupleSink*>(&t.sink) : sink;

@@ -220,7 +220,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   }
 
   SJ_RETURN_IF_ERROR(ParallelFor(
-      options.num_threads, p, [&](uint64_t i) -> Status {
+      options.worker_pool, options.num_threads, p, [&](uint64_t i) -> Status {
         PartitionTask& t = tasks[i];
         ThreadCpuTimer cpu;
         JoinSink* out = pooled ? static_cast<JoinSink*>(&t.sink) : sink;

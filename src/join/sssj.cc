@@ -229,7 +229,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   }
 
   SJ_RETURN_IF_ERROR(ParallelFor(
-      options.num_threads, map.strips(), [&](uint64_t s) -> Status {
+      options.worker_pool, options.num_threads, map.strips(), [&](uint64_t s) -> Status {
         StripTask& t = tasks[s];
         ThreadCpuTimer cpu;
         JoinSink* out = pooled ? static_cast<JoinSink*>(&t.sink) : sink;

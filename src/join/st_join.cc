@@ -1,6 +1,7 @@
 #include "join/st_join.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "join/entry_sweep.h"
@@ -11,8 +12,9 @@ namespace {
 
 class STRunner {
  public:
-  STRunner(const RTree& a, const RTree& b, size_t pool_pages, JoinSink* sink)
-      : tree_a_(a), tree_b_(b), pool_(pool_pages), sink_(sink) {}
+  STRunner(const RTree& a, const RTree& b, BufferPool* pool, uint32_t client,
+           JoinSink* sink)
+      : tree_a_(a), tree_b_(b), pool_(pool), client_(client), sink_(sink) {}
 
   Status Run() {
     if (tree_a_.meta().entry_count == 0 || tree_b_.meta().entry_count == 0) {
@@ -25,8 +27,7 @@ class STRunner {
                      tree_b_.root(), tree_b_.bounding_box());
   }
 
-  const BufferPoolStats& pool_stats() const { return pool_.stats(); }
-  size_t cached_pages() const { return pool_.cached_pages(); }
+  size_t cached_pages() const { return pool_->cached_pages(); }
 
  private:
   /// Loads the entries of `page` that overlap `window`, sorted by xlo.
@@ -34,7 +35,7 @@ class STRunner {
   Status LoadOverlapping(const RTree& tree, PageId page, const RectF& window,
                          std::vector<RectF>* out, uint16_t* level) {
     uint8_t buf[kPageSize];
-    SJ_RETURN_IF_ERROR(pool_.Get(tree.pager(), page, buf));
+    SJ_RETURN_IF_ERROR(pool_->Get(tree.pager(), page, buf, client_));
     const NodeView node(buf);
     *level = node.level();
     out->clear();
@@ -95,7 +96,8 @@ class STRunner {
 
   const RTree& tree_a_;
   const RTree& tree_b_;
-  BufferPool pool_;
+  BufferPool* pool_;
+  uint32_t client_;
   JoinSink* sink_;
 };
 
@@ -105,21 +107,35 @@ Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
                          const JoinOptions& options, JoinSink* sink,
                          MemoryArbiter* arbiter) {
   const ArbiterScope scope(arbiter, options);
-  // The pool's frames are a grant: the requested capacity shrinks to the
-  // budget (minus a small reserve for the per-node entry lists), with an
-  // 8-frame floor so traversal always makes progress.
+  // Two pool modes. Standalone: build a private pool whose frames are a
+  // grant — the requested capacity shrinks to the budget (minus a small
+  // reserve for the per-node entry lists), with an 8-frame floor so
+  // traversal always makes progress. Service: read through the shared
+  // process-wide pool, whose frames are global state outside this query's
+  // budget (the service sizes it once); traffic is attributed to this
+  // query's stats client.
   constexpr size_t kMinPoolPages = 8;
-  const size_t budget = scope->budget();
-  // The budget cap never squeezes the request below the 8-frame floor;
-  // an explicitly smaller options.buffer_pool_pages is still honored
-  // (tests force re-reads with tiny pools).
-  const size_t requested = std::min<size_t>(
-      options.buffer_pool_pages * kPageSize,
-      std::max(budget - std::min(budget, size_t{2} * kPageSize),
-               kMinPoolPages * kPageSize));
-  MemoryGrant pool_grant = scope->AcquireShrinkable(
-      grants::kBufferPool, requested, kMinPoolPages * kPageSize);
-  const size_t pool_pages = std::max<size_t>(1, pool_grant.bytes() / kPageSize);
+  std::unique_ptr<BufferPool> owned_pool;
+  MemoryGrant pool_grant;
+  BufferPool* pool = options.shared_buffer_pool;
+  uint32_t client = options.buffer_pool_client;
+  if (pool == nullptr) {
+    const size_t budget = scope->budget();
+    // The budget cap never squeezes the request below the 8-frame floor;
+    // an explicitly smaller options.buffer_pool_pages is still honored
+    // (tests force re-reads with tiny pools).
+    const size_t requested = std::min<size_t>(
+        options.buffer_pool_pages * kPageSize,
+        std::max(budget - std::min(budget, size_t{2} * kPageSize),
+                 kMinPoolPages * kPageSize));
+    pool_grant = scope->AcquireShrinkable(grants::kBufferPool, requested,
+                                          kMinPoolPages * kPageSize);
+    owned_pool = std::make_unique<BufferPool>(
+        std::max<size_t>(1, pool_grant.bytes() / kPageSize));
+    pool = owned_pool.get();
+    client = 0;
+  }
+  const BufferPoolStats pool_before = pool->client_stats(client);
   JoinMeasurement measurement(disk);
   const uint64_t index_reads_before =
       disk->device_stats()[a.pager()->device_id()].pages_read +
@@ -139,9 +155,11 @@ Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
     CountingSink* count_;
   } tee(sink, &counter);
 
-  STRunner runner(a, b, pool_pages, &tee);
+  STRunner runner(a, b, pool, client, &tee);
   SJ_RETURN_IF_ERROR(runner.Run());
-  pool_grant.NoteUsage(runner.cached_pages() * kPageSize);
+  if (pool_grant.active()) {
+    pool_grant.NoteUsage(runner.cached_pages() * kPageSize);
+  }
 
   JoinStats stats = measurement.Finish();
   stats.output_count = counter.count();
@@ -150,8 +168,9 @@ Result<JoinStats> STJoin(const RTree& a, const RTree& b, DiskModel* disk,
       disk->device_stats()[a.pager()->device_id()].pages_read +
       disk->device_stats()[b.pager()->device_id()].pages_read -
       index_reads_before;
-  stats.pool_requests = runner.pool_stats().requests;
-  stats.pool_hits = runner.pool_stats().hits;
+  const BufferPoolStats pool_delta = pool->client_stats(client) - pool_before;
+  stats.pool_requests = pool_delta.requests;
+  stats.pool_hits = pool_delta.hits;
   return stats;
 }
 

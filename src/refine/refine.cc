@@ -91,7 +91,7 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
   const bool pooled = options.num_threads > 1 && nbatches > 1;
 
   SJ_RETURN_IF_ERROR(ParallelFor(
-      options.num_threads, nbatches, [&](uint64_t i) -> Status {
+      options.worker_pool, options.num_threads, nbatches, [&](uint64_t i) -> Status {
         BatchShard& shard = shards[i];
         ThreadCpuTimer cpu;
         const uint64_t lo = i * batch;
@@ -158,7 +158,7 @@ Result<RefineStats> RefineTuples(
   const bool pooled = options.num_threads > 1 && nbatches > 1;
 
   SJ_RETURN_IF_ERROR(ParallelFor(
-      options.num_threads, nbatches, [&](uint64_t i) -> Status {
+      options.worker_pool, options.num_threads, nbatches, [&](uint64_t i) -> Status {
         BatchShard& shard = shards[i];
         ThreadCpuTimer cpu;
         const uint64_t lo = i * batch;

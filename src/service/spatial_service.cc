@@ -1,0 +1,372 @@
+#include "service/spatial_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sj {
+
+/// One submission's shared state. Completion (result/state/cv) is
+/// self-contained on the ticket so handles stay valid independently of
+/// the service's internals; the service pointer is only touched while the
+/// ticket is still queued, which the destructor's drain guarantees
+/// happens before the service dies. Lock order: service mu_ before
+/// ticket mu, never the reverse.
+struct SubmittedQuery::Ticket {
+  Ticket(SpatialService* service_in, const JoinQuery& query_in,
+         JoinSink* sink_in)
+      : service(service_in), query(query_in), sink(sink_in) {}
+
+  SpatialService* service;
+  uint64_t id = 0;
+  JoinQuery query;  // Private copy; referenced inputs must outlive us.
+  JoinSink* sink;
+  size_t requested_bytes = 0;
+  bool strict = false;
+  bool allow_degraded = true;
+  std::chrono::steady_clock::time_point deadline;
+
+  enum class State { kQueued, kRunning, kDone };
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  State state = State::kQueued;
+  size_t granted_bytes = 0;
+  bool degraded = false;
+  uint32_t pool_client = 0;
+  std::shared_ptr<MemoryArbiter> arbiter;  // Carved child; reset when done.
+  std::optional<sj::Result<JoinStats>> result;
+
+  /// Caller must hold `mu`.
+  void FinishLocked(sj::Result<JoinStats> r) {
+    result.emplace(std::move(r));
+    state = State::kDone;
+    arbiter.reset();
+    cv.notify_all();
+  }
+};
+
+using Ticket = SubmittedQuery::Ticket;
+
+bool SubmittedQuery::done() const {
+  if (ticket_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->state == Ticket::State::kDone;
+}
+
+void SubmittedQuery::Wait() const {
+  if (ticket_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(ticket_->mu);
+  bool expired_here = false;
+  while (ticket_->state != Ticket::State::kDone) {
+    if (ticket_->state == Ticket::State::kQueued) {
+      // A queued query waits at most to its admission deadline; whoever
+      // notices the expiry first (this waiter or the scheduler's reap)
+      // resolves the ticket.
+      ticket_->cv.wait_until(lock, ticket_->deadline);
+      if (ticket_->state == Ticket::State::kQueued &&
+          std::chrono::steady_clock::now() >= ticket_->deadline) {
+        ticket_->FinishLocked(Status::DeadlineExceeded(
+            "query #" + std::to_string(ticket_->id) +
+            " expired after waiting for admission; the global memory "
+            "budget stayed occupied past the queue deadline"));
+        expired_here = true;
+      }
+    } else {
+      ticket_->cv.wait(lock);  // Running: finishes, no deadline applies.
+    }
+  }
+  lock.unlock();
+  if (expired_here) ticket_->service->NoteQueueExpiry();
+}
+
+bool SubmittedQuery::Cancel() {
+  if (ticket_ == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(ticket_->mu);
+    if (ticket_->state != Ticket::State::kQueued) return false;
+    ticket_->FinishLocked(Status::Cancelled(
+        "query #" + std::to_string(ticket_->id) +
+        " cancelled while queued for admission"));
+  }
+  // Still-queued implies the service is alive (its destructor resolves
+  // every queued ticket before returning).
+  ticket_->service->NoteCancel();
+  return true;
+}
+
+const sj::Result<JoinStats>& SubmittedQuery::Result() const {
+  SJ_CHECK(ticket_ != nullptr) << "Result() on a default SubmittedQuery";
+  Wait();
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return *ticket_->result;
+}
+
+size_t SubmittedQuery::granted_bytes() const {
+  if (ticket_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->granted_bytes;
+}
+
+bool SubmittedQuery::degraded() const {
+  if (ticket_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->degraded;
+}
+
+uint64_t SubmittedQuery::id() const {
+  return ticket_ == nullptr ? 0 : ticket_->id;
+}
+
+SpatialService::SpatialService(const ServiceOptions& options)
+    : options_(options),
+      global_arbiter_(options.global_memory_bytes,
+                      options.strict_memory_accounting) {
+  if (options_.worker_threads > 0) {
+    worker_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+  if (options_.buffer_pool_pages > 0) {
+    buffer_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+  }
+}
+
+SpatialService::~SpatialService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    // Queued queries never run once shutdown starts; resolve them so no
+    // handle blocks forever.
+    for (const std::shared_ptr<Ticket>& t : queue_) {
+      std::lock_guard<std::mutex> tl(t->mu);
+      if (t->state == Ticket::State::kQueued) {
+        t->FinishLocked(Status::Cancelled(
+            "query #" + std::to_string(t->id) +
+            " cancelled: the service shut down before admission"));
+        counters_.cancelled++;
+      }
+    }
+    queue_.clear();
+  }
+  // Admitted queries run to completion.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return running_ == 0; });
+  }
+  worker_pool_.reset();  // Joins workers before the shared pool dies.
+}
+
+SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
+                                      const SubmitOptions& submit) {
+  auto ticket = std::make_shared<Ticket>(this, query, sink);
+  ticket->requested_bytes = query.options().memory_bytes;
+  ticket->strict = query.options().strict_memory_accounting;
+  ticket->allow_degraded =
+      submit.allow_degraded && options_.degraded_min_bytes > 0;
+  const double deadline_seconds = submit.queue_deadline_seconds >= 0.0
+                                      ? submit.queue_deadline_seconds
+                                      : options_.default_queue_deadline_seconds;
+  ticket->deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(deadline_seconds));
+
+  std::vector<std::shared_ptr<Ticket>> to_dispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket->id = next_id_++;
+    counters_.submitted++;
+    std::lock_guard<std::mutex> tl(ticket->mu);
+    if (ticket->requested_bytes < kMinMemoryBytes) {
+      // Misuse, not contention: same floor and code path the query layer
+      // enforces (see JoinQuery::Compile).
+      counters_.rejected++;
+      ticket->FinishLocked(Status::FailedPrecondition(
+          "memory budget " + std::to_string(ticket->requested_bytes) +
+          " B is below the supported floor of " +
+          std::to_string(kMinMemoryBytes) +
+          " B (kMinMemoryBytes, 64 KiB); raise JoinQuery::MemoryBytes / "
+          "JoinOptions::memory_bytes"));
+      return SubmittedQuery(std::move(ticket));
+    }
+    if (ticket->requested_bytes > options_.global_memory_bytes) {
+      // Unsatisfiable at any queue position: no amount of waiting frees
+      // more than the whole global budget.
+      counters_.rejected++;
+      ticket->FinishLocked(Status::ResourceExhausted(
+          "query asks for " + std::to_string(ticket->requested_bytes) +
+          " B but the service's whole global budget is " +
+          std::to_string(options_.global_memory_bytes) +
+          " B; lower JoinQuery::MemoryBytes or grow "
+          "ServiceOptions::global_memory_bytes"));
+      return SubmittedQuery(std::move(ticket));
+    }
+    if (shutting_down_) {
+      counters_.rejected++;
+      ticket->FinishLocked(
+          Status::FailedPrecondition("service is shutting down"));
+      return SubmittedQuery(std::move(ticket));
+    }
+    if (queue_.size() >= options_.admission_queue_limit) {
+      counters_.rejected++;
+      ticket->FinishLocked(Status::ResourceExhausted(
+          "admission queue is full (" +
+          std::to_string(options_.admission_queue_limit) +
+          " queries already waiting)"));
+      return SubmittedQuery(std::move(ticket));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(ticket);
+    to_dispatch = AdmitLocked();
+  }
+  Dispatch(std::move(to_dispatch));
+  return SubmittedQuery(std::move(ticket));
+}
+
+sj::Result<JoinStats> SpatialService::Run(const JoinQuery& query,
+                                          JoinSink* sink,
+                                          const SubmitOptions& submit) {
+  return Submit(query, sink, submit).Result();
+}
+
+std::vector<std::shared_ptr<Ticket>> SpatialService::AdmitLocked() {
+  std::vector<std::shared_ptr<Ticket>> out;
+  const auto now = Clock::now();
+  while (!queue_.empty()) {
+    const std::shared_ptr<Ticket> t = queue_.front();
+    {
+      std::lock_guard<std::mutex> tl(t->mu);
+      if (t->state == Ticket::State::kDone) {  // Cancelled or expired.
+        queue_.pop_front();
+        continue;
+      }
+      if (now >= t->deadline) {
+        counters_.deadline_expired++;
+        t->FinishLocked(Status::DeadlineExceeded(
+            "query #" + std::to_string(t->id) +
+            " expired after waiting for admission; the global memory "
+            "budget stayed occupied past the queue deadline"));
+        queue_.pop_front();
+        continue;
+      }
+    }
+    // Strict FIFO: if the head cannot be admitted (even degraded),
+    // nothing behind it is — a stream of small queries can never starve
+    // an earlier big one.
+    if (!TryAdmitOneLocked(t)) break;
+    queue_.pop_front();
+    out.push_back(t);
+  }
+  return out;
+}
+
+bool SpatialService::TryAdmitOneLocked(const std::shared_ptr<Ticket>& t) {
+  const size_t available = global_arbiter_.available();
+  size_t grant = 0;
+  bool degraded = false;
+  if (available >= t->requested_bytes) {
+    grant = t->requested_bytes;
+  } else if (t->allow_degraded) {
+    // Admit with what is free instead of queueing, if that is at least
+    // the documented degradation floor (executors spill more under the
+    // smaller budget; results are identical).
+    const size_t floor =
+        std::max(options_.degraded_min_bytes, kMinMemoryBytes);
+    if (available >= floor) {
+      grant = std::min(t->requested_bytes, available);
+      degraded = true;
+    }
+  }
+  if (grant == 0) return false;
+
+  auto child = global_arbiter_.CarveChild("query." + std::to_string(t->id),
+                                          grant, t->strict);
+  if (!child.ok()) return false;
+  {
+    std::lock_guard<std::mutex> tl(t->mu);
+    t->state = Ticket::State::kRunning;
+    t->granted_bytes = grant;
+    t->degraded = degraded;
+    t->arbiter = std::move(child).value();
+    if (buffer_pool_ != nullptr) {
+      t->pool_client =
+          buffer_pool_->RegisterClient("query." + std::to_string(t->id));
+    }
+  }
+  if (degraded) {
+    counters_.admitted_degraded++;
+  } else {
+    counters_.admitted_full++;
+  }
+  running_++;
+  return true;
+}
+
+void SpatialService::Dispatch(
+    std::vector<std::shared_ptr<Ticket>> tickets) {
+  for (std::shared_ptr<Ticket>& t : tickets) {
+    if (worker_pool_ != nullptr) {
+      std::shared_ptr<Ticket> ticket = std::move(t);
+      worker_pool_->Submit(
+          [this, ticket = std::move(ticket)] { Execute(ticket); });
+    } else {
+      Execute(t);  // Inline mode: the submitter's thread is the worker.
+    }
+  }
+}
+
+void SpatialService::Execute(const std::shared_ptr<Ticket>& ticket) {
+  // The query runs with its options rewritten to the admission outcome:
+  // granted budget, the carved child arbiter, and the shared pool(s). The
+  // copy lives inside the lambda so its reference to the child arbiter is
+  // gone before completion bookkeeping — FinishLocked's arbiter reset must
+  // be the last reference, or the carved budget would still look occupied
+  // when AdmitLocked below re-runs admission.
+  sj::Result<JoinStats> result = [&]() -> sj::Result<JoinStats> {
+    JoinQuery query = ticket->query;
+    query.MemoryBytes(ticket->granted_bytes);
+    query.UseArbiter(ticket->arbiter);
+    JoinOptions& o = query.mutable_options();
+    if (worker_pool_ != nullptr) o.worker_pool = worker_pool_.get();
+    if (buffer_pool_ != nullptr) {
+      o.shared_buffer_pool = buffer_pool_.get();
+      o.buffer_pool_client = ticket->pool_client;
+    }
+    return query.RunDirect(ticket->sink);
+  }();
+
+  std::vector<std::shared_ptr<Ticket>> to_dispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> tl(ticket->mu);
+      ticket->FinishLocked(std::move(result));  // Frees the carved budget.
+    }
+    running_--;
+    idle_cv_.notify_all();
+    to_dispatch = AdmitLocked();  // The freed bytes may admit the head.
+  }
+  Dispatch(std::move(to_dispatch));
+}
+
+void SpatialService::NoteCancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.cancelled++;
+}
+
+void SpatialService::NoteQueueExpiry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.deadline_expired++;
+}
+
+ServiceStats SpatialService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s = counters_;
+  s.global_in_use_bytes = global_arbiter_.in_use();
+  s.global_peak_bytes = global_arbiter_.peak_bytes();
+  if (buffer_pool_ != nullptr) s.pool = buffer_pool_->stats();
+  return s;
+}
+
+}  // namespace sj

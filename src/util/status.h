@@ -9,6 +9,23 @@ namespace sj {
 /// Error categories used throughout the library. Algorithms return Status
 /// (or Result<T>) instead of throwing; this keeps the hot join paths free
 /// of exception machinery and matches common database-engine practice.
+///
+/// Every public entry point (JoinQuery::Run/Explain, SpatialService::Submit,
+/// the legacy SpatialJoiner wrappers) reports errors through this one
+/// taxonomy — there are no bool returns or aborts outside strict mode:
+///
+///   kInvalidArgument    — a malformed query description (wrong input
+///                         count, negative epsilon, bad index).
+///   kFailedPrecondition — API misuse against valid arguments: refinement
+///                         without FeatureStores, budgets below
+///                         kMinMemoryBytes, a predicate that needs a mode
+///                         the query did not enable.
+///   kResourceExhausted  — an admission or grant denial: the scheduler's
+///                         global budget (or queue) cannot take the query,
+///                         or a MemoryArbiter cannot cover a grant.
+///   kDeadlineExceeded   — a queued query's admission deadline expired
+///                         before memory freed up.
+///   kCancelled          — the client cancelled a queued query.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -20,6 +37,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight status object: a code plus a human-readable message.
@@ -58,6 +77,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "io/pager.h"
 #include "util/logging.h"
@@ -45,17 +49,120 @@ TEST_F(BufferPoolTest, HitAvoidsDiskRead) {
   EXPECT_EQ(pool.stats().misses, 1u);
 }
 
-TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+TEST_F(BufferPoolTest, EvictsTrialQueueFifo) {
+  // 2Q replacement: first-touch pages live in the A1in trial queue and
+  // leave it FIFO — a re-reference *inside* the trial queue does not save
+  // a page (only the ghost/Am path below proves reuse). This is exactly
+  // where 2Q diverges from the old per-query LRU, which would have kept
+  // page 0 and evicted page 1 here.
   BufferPool pool(2);
   FirstByte(&pool, 0);
   FirstByte(&pool, 1);
-  FirstByte(&pool, 0);  // 0 is now MRU, 1 is LRU.
-  FirstByte(&pool, 2);  // Evicts 1.
+  FirstByte(&pool, 0);  // A1in hit: stays a trial page in FIFO position.
+  FirstByte(&pool, 2);  // Evicts the trial front: page 0.
   disk_.ResetStats();
-  FirstByte(&pool, 0);  // Still cached.
+  FirstByte(&pool, 1);  // Still cached.
   EXPECT_EQ(disk_.stats().pages_read, 0u);
-  FirstByte(&pool, 1);  // Was evicted: re-read.
+  FirstByte(&pool, 0);  // Was evicted: re-read (and ghost-promoted).
   EXPECT_EQ(disk_.stats().pages_read, 1u);
+}
+
+TEST_F(BufferPoolTest, GhostPromotedHotPageSurvivesScan) {
+  // A page re-read after leaving the trial queue (an A1out ghost hit) is
+  // promoted to the hot Am list, which a sequential scan through A1in
+  // cannot flush — the scan-resistance a process-wide shared pool exists
+  // for.
+  BufferPool pool(4);
+  for (PageId p = 0; p <= 4; ++p) FirstByte(&pool, p);  // 0 ghosted out.
+  FirstByte(&pool, 0);  // Ghost hit: promoted to Am.
+  for (PageId p = 5; p < 10; ++p) FirstByte(&pool, p);  // Scan churns A1in.
+  disk_.ResetStats();
+  EXPECT_EQ(FirstByte(&pool, 0), 1);  // Hot page outlived the whole scan.
+  EXPECT_EQ(disk_.stats().pages_read, 0u);
+  EXPECT_LE(pool.cached_pages(), 4u);
+}
+
+TEST_F(BufferPoolTest, PinnedFrameSurvivesEvictionPressure) {
+  BufferPool pool(2);
+  Result<BufferPool::PageRef> ref = pool.Pin(&pager_, 0);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref.value().data()[0], 1);
+  // Churn far past capacity: the pinned frame must keep its bytes.
+  for (PageId p = 1; p < 10; ++p) FirstByte(&pool, p);
+  EXPECT_EQ(ref.value().data()[0], 1);
+  disk_.ResetStats();
+  EXPECT_EQ(FirstByte(&pool, 0), 1);  // Still resident: no disk read.
+  EXPECT_EQ(disk_.stats().pages_read, 0u);
+  ref.value().Reset();
+  EXPECT_FALSE(ref.value());
+  // Unpinned now: eviction pressure may finally drop it.
+  for (PageId p = 1; p < 10; ++p) FirstByte(&pool, p);
+  EXPECT_LE(pool.cached_pages(), 2u);
+}
+
+TEST_F(BufferPoolTest, PerClientAttribution) {
+  BufferPool pool(4);
+  const uint32_t c1 = pool.RegisterClient("query.1");
+  const uint32_t c2 = pool.RegisterClient("query.2");
+  uint8_t buf[kPageSize];
+  SJ_CHECK_OK(pool.Get(&pager_, 0, buf, c1));  // Miss charged to c1.
+  SJ_CHECK_OK(pool.Get(&pager_, 0, buf, c2));  // Hit credited to c2.
+  SJ_CHECK_OK(pool.Get(&pager_, 1, buf, c2));  // Miss charged to c2.
+  SJ_CHECK_OK(pool.Get(&pager_, 2, buf));      // Unattributed client 0.
+  EXPECT_EQ(pool.client_stats(c1).misses, 1u);
+  EXPECT_EQ(pool.client_stats(c1).hits, 0u);
+  EXPECT_EQ(pool.client_stats(c2).hits, 1u);
+  EXPECT_EQ(pool.client_stats(c2).misses, 1u);
+  EXPECT_EQ(pool.client_stats(0).misses, 1u);
+  // Aggregate equals the sum over clients.
+  EXPECT_EQ(pool.stats().requests, 4u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 3u);
+}
+
+TEST_F(BufferPoolTest, ConcurrentGetAndPinStress) {
+  // Many threads hammer a pool far smaller than the page set, mixing
+  // copying Gets and pinned refs. Every byte must come back right and the
+  // aggregate counters must balance. (Run under -DSJ_TSAN=ON in the
+  // concurrency CI tier.)
+  BufferPool pool(3);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const uint32_t client =
+          pool.RegisterClient("stress." + std::to_string(t));
+      uint8_t buf[kPageSize];
+      for (int i = 0; i < kIters; ++i) {
+        const PageId p = static_cast<PageId>((t * 7 + i) % 10);
+        const uint8_t want = static_cast<uint8_t>(p + 1);
+        if (i % 3 == 0) {
+          Result<BufferPool::PageRef> ref = pool.Pin(&pager_, p, client);
+          if (!ref.ok() || ref.value().data()[0] != want) ++errors;
+        } else {
+          if (!pool.Get(&pager_, p, buf, client).ok() || buf[0] != want) {
+            ++errors;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.requests, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.requests, s.hits + s.misses);
+  // With no pins outstanding the pool settles back within capacity.
+  EXPECT_LE(pool.cached_pages(), 3u);
+  // Per-client counts add up to the aggregate.
+  uint64_t sum = 0;
+  for (uint32_t c = 0; c <= static_cast<uint32_t>(kThreads); ++c) {
+    sum += pool.client_stats(c).requests;
+  }
+  EXPECT_EQ(sum, s.requests);
 }
 
 TEST_F(BufferPoolTest, CapacityIsRespected) {

@@ -229,6 +229,74 @@ TEST(PlannerThroughJoinQuery, ExplainMatchesPlan) {
   EXPECT_FALSE(explained->Describe().empty());
 }
 
+TEST(PlannerThroughJoinQuery, ToKeyValuesIsStructuredAndComplete) {
+  TreeFixture f;
+  SpatialJoiner joiner(&f.td.disk, JoinOptions());
+  const JoinInput a = JoinInput::FromRTree(&*f.tree);
+  const JoinInput b = PlanOnlyStream(2000, RectF(0, 0, 10, 10));
+  auto explained = JoinQuery(joiner).Input(a).Input(b).Explain();
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+
+  const auto kv = explained->ToKeyValues();
+  auto value_of = [&](const std::string& key) -> const std::string* {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  // Always-present keys, machine-parseable values.
+  ASSERT_NE(value_of("algorithm"), nullptr);
+  EXPECT_EQ(*value_of("algorithm"), ToString(explained->algorithm));
+  ASSERT_NE(value_of("touched_fraction"), nullptr);
+  // Values carry 6 significant digits; parse back within that precision.
+  EXPECT_NEAR(std::stod(*value_of("touched_fraction")),
+              explained->touched_fraction,
+              1e-5 * std::max(1.0, explained->touched_fraction));
+  ASSERT_NE(value_of("stream_cost_seconds"), nullptr);
+  ASSERT_NE(value_of("index_cost_seconds"), nullptr);
+  ASSERT_NE(value_of("rationale"), nullptr);
+  EXPECT_EQ(*value_of("rationale"), explained->rationale);
+  // The memory group mirrors the grant breakdown.
+  ASSERT_NE(value_of("memory.budget_bytes"), nullptr);
+  EXPECT_EQ(std::stoull(*value_of("memory.budget_bytes")),
+            explained->memory.budget_bytes);
+  size_t grant_keys = 0;
+  for (const auto& [k, v] : kv) {
+    if (k.rfind("memory.grant.", 0) == 0) ++grant_keys;
+  }
+  EXPECT_EQ(grant_keys, explained->memory.grants.size());
+  EXPECT_GT(grant_keys, 0u);
+  // Keys are unique: consumers can load them into a map losslessly.
+  std::set<std::string> keys;
+  for (const auto& [k, v] : kv) EXPECT_TRUE(keys.insert(k).second) << k;
+}
+
+TEST(PlannerPbsmPrePlan, ToKeyValuesCarriesThePbsmGroup) {
+  TestDisk td;
+  SpatialJoiner joiner(&td.disk, JoinOptions());
+  const JoinInput a = PlanOnlyStream(4000000, RectF(0, 0, 100, 100));
+  const JoinInput b = PlanOnlyStream(4000000, RectF(0, 0, 100, 100));
+  auto explained = JoinQuery(joiner).Input(a).Input(b).Explain();
+  ASSERT_TRUE(explained.ok());
+  ASSERT_GT(explained->pbsm_partitions, 0u);
+
+  const auto kv = explained->ToKeyValues();
+  auto value_of = [&](const std::string& key) -> const std::string* {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(value_of("pbsm.adaptive"), nullptr);
+  EXPECT_EQ(*value_of("pbsm.adaptive"),
+            explained->pbsm_adaptive ? "true" : "false");
+  ASSERT_NE(value_of("pbsm.partitions"), nullptr);
+  EXPECT_EQ(std::stoul(*value_of("pbsm.partitions")),
+            explained->pbsm_partitions);
+  ASSERT_NE(value_of("pbsm.tiles_per_axis"), nullptr);
+  ASSERT_NE(value_of("pbsm.cost_seconds"), nullptr);
+}
+
 TEST(PlannerThroughJoinQuery, ForcedAlgorithmShowsInDecision) {
   TreeFixture f;
   SpatialJoiner joiner(&f.td.disk, JoinOptions());

@@ -1,5 +1,11 @@
 #include "core/spatial_join.h"
 
+// This file intentionally exercises the deprecated SpatialJoiner::Join /
+// MultiwayJoin wrappers to pin the legacy surface until it is removed.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include <gtest/gtest.h>
 
 #include "datagen/synthetic.h"

@@ -106,5 +106,125 @@ TEST(ParallelFor, ExceptionPropagates) {
                std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Task groups and the shared-pool morsel mode.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolGroup, WaitCoversAllTasksAndHelps) {
+  for (const uint32_t threads : {0u, 1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> done{0};
+    ThreadPool::Group group(pool);
+    for (int i = 0; i < 64; ++i) {
+      group.Submit([&done] { done.fetch_add(1); });
+    }
+    group.Wait();  // Helping: with one worker, the caller runs most of these.
+    EXPECT_EQ(done.load(), 64) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolGroup, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  ThreadPool::Group group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Submit([i] {
+      if (i == 3) throw std::runtime_error("group task failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolGroup, ConcurrentGroupsInterleaveFairly) {
+  // A group with 200 tasks and a group with 4 share one worker; because
+  // workers drain groups round-robin (one task per group per turn), the
+  // small group finishes well before the big one's backlog clears — the
+  // fairness a shared service pool needs.
+  ThreadPool pool(1);
+  std::atomic<int> big_done{0};
+  std::atomic<int> small_done{0};
+  std::atomic<int> big_done_when_small_finished{-1};
+
+  ThreadPool::Group big(pool);
+  ThreadPool::Group small(pool);
+  for (int i = 0; i < 200; ++i) {
+    big.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      big_done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 4; ++i) {
+    small.Submit([&, i] {
+      if (small_done.fetch_add(1) + 1 == 4) {
+        big_done_when_small_finished.store(big_done.load());
+      }
+      (void)i;
+    });
+  }
+  small.Wait();  // The waiter helps its own group, never the other's.
+  big.Wait();
+  EXPECT_EQ(big_done.load(), 200);
+  EXPECT_EQ(small_done.load(), 4);
+  // Round-robin means the small group saw at most ~one big task per small
+  // task plus the one in flight; far below the 200-task backlog.
+  EXPECT_LE(big_done_when_small_finished.load(), 20);
+}
+
+TEST(ParallelFor, SharedPoolMatchesPrivatePool) {
+  ThreadPool shared(4);
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> visits(311);
+    const Status s =
+        ParallelFor(&shared, threads, visits.size(), [&](uint64_t i) {
+          visits[i].fetch_add(1);
+          return Status::OK();
+        });
+    EXPECT_TRUE(s.ok());
+    for (size_t i = 0; i < visits.size(); ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, SharedPoolReturnsLowestIndexError) {
+  ThreadPool shared(3);
+  const Status s = ParallelFor(&shared, 8, 64, [&](uint64_t i) -> Status {
+    if (i == 9 || i == 33) {
+      return Status::Internal("fail " + std::to_string(i));
+    }
+    return Status::OK();
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("fail 9"), std::string::npos) << s.ToString();
+}
+
+TEST(ParallelFor, NestedOnSharedPoolDoesNotDeadlock) {
+  // The deadlock trap of a fixed shared pool: outer tasks occupy every
+  // worker and each fans out an inner ParallelFor onto the same pool.
+  // Helping waits must keep everything progressing.
+  ThreadPool shared(2);
+  std::atomic<int> inner_total{0};
+  const Status s = ParallelFor(&shared, 4, 8, [&](uint64_t) -> Status {
+    return ParallelFor(&shared, 4, 16, [&](uint64_t) -> Status {
+      inner_total.fetch_add(1);
+      return Status::OK();
+    });
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelFor, SharedPoolWithZeroWorkersRunsSerially) {
+  // A service configured with worker_threads=0 hands executors a pool of
+  // size 0; ParallelFor must fall back to inline execution.
+  ThreadPool shared(0);
+  std::vector<int> visits(64, 0);  // Unsynchronized: serial or bust.
+  const Status s = ParallelFor(&shared, 8, visits.size(), [&](uint64_t i) {
+    visits[i]++;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  for (size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i], 1);
+}
+
 }  // namespace
 }  // namespace sj
