@@ -7,21 +7,40 @@
 
 namespace sj {
 
+namespace service_internal {
+
+/// Pins the service for handle-side calls. A SubmittedQuery may outlive
+/// its SpatialService, so after resolving a ticket the handle must not
+/// touch the raw service pointer; instead it takes `mu` and calls through
+/// `service` only while that is non-null. ~SpatialService nulls the
+/// pointer under the same mutex (after draining the queue), so a handle
+/// either reaches a live service or finds the pointer cleared — never a
+/// dangling one. Lock order: gate mu before the service's mu_.
+struct ServiceGate {
+  std::mutex mu;
+  SpatialService* service = nullptr;
+};
+
+}  // namespace service_internal
+
+using service_internal::ServiceGate;
+
 /// One submission's shared state. Completion (result/state/cv) is
 /// self-contained on the ticket so handles stay valid independently of
-/// the service's internals; the service pointer is only touched while the
-/// ticket is still queued, which the destructor's drain guarantees
-/// happens before the service dies. Lock order: service mu_ before
-/// ticket mu, never the reverse.
+/// the service's internals; handle-side calls back into the service go
+/// through the gate (see ServiceGate). Lock order: gate mu before
+/// service mu_ before ticket mu, never the reverse.
 struct SubmittedQuery::Ticket {
-  Ticket(SpatialService* service_in, const JoinQuery& query_in,
+  Ticket(std::shared_ptr<ServiceGate> gate_in, const JoinQuery& query_in,
          JoinSink* sink_in)
-      : service(service_in), query(query_in), sink(sink_in) {}
+      : gate(std::move(gate_in)), query(query_in), sink(sink_in) {}
 
-  SpatialService* service;
+  std::shared_ptr<ServiceGate> gate;
   uint64_t id = 0;
   JoinQuery query;  // Private copy; referenced inputs must outlive us.
   JoinSink* sink;
+  // Immutable once the ticket is published (set in Submit before the
+  // ticket reaches the queue or a handle).
   size_t requested_bytes = 0;
   bool strict = false;
   bool allow_degraded = true;
@@ -34,12 +53,21 @@ struct SubmittedQuery::Ticket {
   State state = State::kQueued;
   size_t granted_bytes = 0;
   bool degraded = false;
+  /// Set (with kDone) by Cancel(); the scheduler folds it into
+  /// ServiceStats::cancelled when it removes the ticket from its queue,
+  /// so the count lives on the ticket and needs no service call.
+  bool cancelled_by_handle = false;
   uint32_t pool_client = 0;
   std::shared_ptr<MemoryArbiter> arbiter;  // Carved child; reset when done.
   std::optional<sj::Result<JoinStats>> result;
 
   /// Caller must hold `mu`.
   void FinishLocked(sj::Result<JoinStats> r) {
+    // Single-finisher invariant: Cancel/expiry only resolve kQueued
+    // tickets, Execute only finishes the kRunning ticket it admitted —
+    // so `result` is emplaced exactly once and references returned by
+    // Result() stay valid.
+    SJ_CHECK(state != State::kDone) << "double finish on query ticket";
     result.emplace(std::move(r));
     state = State::kDone;
     arbiter.reset();
@@ -57,28 +85,13 @@ bool SubmittedQuery::done() const {
 
 void SubmittedQuery::Wait() const {
   if (ticket_ == nullptr) return;
+  // Expiry is the scheduler's job: the service's reaper thread wakes at
+  // the earliest queued deadline and resolves expired tickets (and its
+  // destructor resolves everything still queued), so waiting handles
+  // never need to touch the service.
   std::unique_lock<std::mutex> lock(ticket_->mu);
-  bool expired_here = false;
-  while (ticket_->state != Ticket::State::kDone) {
-    if (ticket_->state == Ticket::State::kQueued) {
-      // A queued query waits at most to its admission deadline; whoever
-      // notices the expiry first (this waiter or the scheduler's reap)
-      // resolves the ticket.
-      ticket_->cv.wait_until(lock, ticket_->deadline);
-      if (ticket_->state == Ticket::State::kQueued &&
-          std::chrono::steady_clock::now() >= ticket_->deadline) {
-        ticket_->FinishLocked(Status::DeadlineExceeded(
-            "query #" + std::to_string(ticket_->id) +
-            " expired after waiting for admission; the global memory "
-            "budget stayed occupied past the queue deadline"));
-        expired_here = true;
-      }
-    } else {
-      ticket_->cv.wait(lock);  // Running: finishes, no deadline applies.
-    }
-  }
-  lock.unlock();
-  if (expired_here) ticket_->service->NoteQueueExpiry();
+  ticket_->cv.wait(lock,
+                   [this] { return ticket_->state == Ticket::State::kDone; });
 }
 
 bool SubmittedQuery::Cancel() {
@@ -86,13 +99,26 @@ bool SubmittedQuery::Cancel() {
   {
     std::lock_guard<std::mutex> lock(ticket_->mu);
     if (ticket_->state != Ticket::State::kQueued) return false;
+    ticket_->cancelled_by_handle = true;
     ticket_->FinishLocked(Status::Cancelled(
         "query #" + std::to_string(ticket_->id) +
         " cancelled while queued for admission"));
   }
-  // Still-queued implies the service is alive (its destructor resolves
-  // every queued ticket before returning).
-  ticket_->service->NoteCancel();
+  // Tell the scheduler so the queue slot frees immediately and, if this
+  // was the head, the queries behind it get an admission pass now rather
+  // than at the next submit/completion. The gate pins the service: once
+  // its destructor nulls the pointer, the destructor's drain has already
+  // folded this ticket's cancel into the counters.
+  std::vector<std::shared_ptr<Ticket>> to_dispatch;
+  SpatialService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> gate_lock(ticket_->gate->mu);
+    service = ticket_->gate->service;
+    if (service != nullptr) to_dispatch = service->ReapAfterHandleCancel();
+  }
+  // Safe outside the gate: each dispatched ticket is already counted in
+  // running_, which the service destructor waits on before returning.
+  if (!to_dispatch.empty()) service->Dispatch(std::move(to_dispatch));
   return true;
 }
 
@@ -122,7 +148,9 @@ uint64_t SubmittedQuery::id() const {
 SpatialService::SpatialService(const ServiceOptions& options)
     : options_(options),
       global_arbiter_(options.global_memory_bytes,
-                      options.strict_memory_accounting) {
+                      options.strict_memory_accounting),
+      gate_(std::make_shared<ServiceGate>()) {
+  gate_->service = this;
   if (options_.worker_threads > 0) {
     worker_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
@@ -135,8 +163,12 @@ SpatialService::~SpatialService() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
+    reaper_stop_ = true;
     // Queued queries never run once shutdown starts; resolve them so no
-    // handle blocks forever.
+    // handle blocks forever. Tickets a handle already cancelled (but the
+    // scheduler has not reaped) get their count folded here — removal
+    // from queue_ and the counter bump are atomic under mu_, so every
+    // cancel is counted exactly once.
     for (const std::shared_ptr<Ticket>& t : queue_) {
       std::lock_guard<std::mutex> tl(t->mu);
       if (t->state == Ticket::State::kQueued) {
@@ -144,21 +176,32 @@ SpatialService::~SpatialService() {
             "query #" + std::to_string(t->id) +
             " cancelled: the service shut down before admission"));
         counters_.cancelled++;
+      } else if (t->state == Ticket::State::kDone && t->cancelled_by_handle) {
+        counters_.cancelled++;
       }
     }
     queue_.clear();
   }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
   // Admitted queries run to completion.
   {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] { return running_ == 0; });
+  }
+  // From here no handle may reach this service: Cancel() callers either
+  // already passed the gate (their tickets were resolved and folded by
+  // the drain above, so their reap is a no-op) or will find it closed.
+  {
+    std::lock_guard<std::mutex> gate_lock(gate_->mu);
+    gate_->service = nullptr;
   }
   worker_pool_.reset();  // Joins workers before the shared pool dies.
 }
 
 SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
                                       const SubmitOptions& submit) {
-  auto ticket = std::make_shared<Ticket>(this, query, sink);
+  auto ticket = std::make_shared<Ticket>(gate_, query, sink);
   ticket->requested_bytes = query.options().memory_bytes;
   ticket->strict = query.options().strict_memory_accounting;
   ticket->allow_degraded =
@@ -170,55 +213,68 @@ SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(deadline_seconds));
 
+  // Validation, enqueue, and admission form one continuous critical
+  // section: the queue-limit and shutdown checks cannot go stale between
+  // checking and enqueueing (N racing Submits each see the queue length
+  // including the pushes that beat them, and no push can land after the
+  // destructor's drain).
   std::vector<std::shared_ptr<Ticket>> to_dispatch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ticket->id = next_id_++;
     counters_.submitted++;
-    std::lock_guard<std::mutex> tl(ticket->mu);
-    if (ticket->requested_bytes < kMinMemoryBytes) {
-      // Misuse, not contention: same floor and code path the query layer
-      // enforces (see JoinQuery::Compile).
-      counters_.rejected++;
-      ticket->FinishLocked(Status::FailedPrecondition(
-          "memory budget " + std::to_string(ticket->requested_bytes) +
-          " B is below the supported floor of " +
-          std::to_string(kMinMemoryBytes) +
-          " B (kMinMemoryBytes, 64 KiB); raise JoinQuery::MemoryBytes / "
-          "JoinOptions::memory_bytes"));
-      return SubmittedQuery(std::move(ticket));
+    // Reap before measuring the queue so cancelled/expired stragglers do
+    // not count against the limit (done outside the new ticket's lock —
+    // only one ticket mutex is ever held at a time).
+    ReapLocked(Clock::now());
+    {
+      std::lock_guard<std::mutex> tl(ticket->mu);
+      if (ticket->requested_bytes < kMinMemoryBytes) {
+        // Misuse, not contention: same floor and code path the query layer
+        // enforces (see JoinQuery::Compile).
+        counters_.rejected++;
+        ticket->FinishLocked(Status::FailedPrecondition(
+            "memory budget " + std::to_string(ticket->requested_bytes) +
+            " B is below the supported floor of " +
+            std::to_string(kMinMemoryBytes) +
+            " B (kMinMemoryBytes, 64 KiB); raise JoinQuery::MemoryBytes / "
+            "JoinOptions::memory_bytes"));
+        return SubmittedQuery(std::move(ticket));
+      }
+      if (ticket->requested_bytes > options_.global_memory_bytes) {
+        // Unsatisfiable at any queue position: no amount of waiting frees
+        // more than the whole global budget.
+        counters_.rejected++;
+        ticket->FinishLocked(Status::ResourceExhausted(
+            "query asks for " + std::to_string(ticket->requested_bytes) +
+            " B but the service's whole global budget is " +
+            std::to_string(options_.global_memory_bytes) +
+            " B; lower JoinQuery::MemoryBytes or grow "
+            "ServiceOptions::global_memory_bytes"));
+        return SubmittedQuery(std::move(ticket));
+      }
+      if (shutting_down_) {
+        counters_.rejected++;
+        ticket->FinishLocked(
+            Status::FailedPrecondition("service is shutting down"));
+        return SubmittedQuery(std::move(ticket));
+      }
+      if (queue_.size() >= options_.admission_queue_limit) {
+        counters_.rejected++;
+        ticket->FinishLocked(Status::ResourceExhausted(
+            "admission queue is full (" +
+            std::to_string(options_.admission_queue_limit) +
+            " queries already waiting)"));
+        return SubmittedQuery(std::move(ticket));
+      }
     }
-    if (ticket->requested_bytes > options_.global_memory_bytes) {
-      // Unsatisfiable at any queue position: no amount of waiting frees
-      // more than the whole global budget.
-      counters_.rejected++;
-      ticket->FinishLocked(Status::ResourceExhausted(
-          "query asks for " + std::to_string(ticket->requested_bytes) +
-          " B but the service's whole global budget is " +
-          std::to_string(options_.global_memory_bytes) +
-          " B; lower JoinQuery::MemoryBytes or grow "
-          "ServiceOptions::global_memory_bytes"));
-      return SubmittedQuery(std::move(ticket));
-    }
-    if (shutting_down_) {
-      counters_.rejected++;
-      ticket->FinishLocked(
-          Status::FailedPrecondition("service is shutting down"));
-      return SubmittedQuery(std::move(ticket));
-    }
-    if (queue_.size() >= options_.admission_queue_limit) {
-      counters_.rejected++;
-      ticket->FinishLocked(Status::ResourceExhausted(
-          "admission queue is full (" +
-          std::to_string(options_.admission_queue_limit) +
-          " queries already waiting)"));
-      return SubmittedQuery(std::move(ticket));
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(ticket);
     to_dispatch = AdmitLocked();
+    if (!queue_.empty()) {
+      // Someone stayed queued: the reaper owns their deadlines.
+      EnsureReaperLocked();
+      reaper_cv_.notify_one();  // New earliest deadline, maybe.
+    }
   }
   Dispatch(std::move(to_dispatch));
   return SubmittedQuery(std::move(ticket));
@@ -230,38 +286,53 @@ sj::Result<JoinStats> SpatialService::Run(const JoinQuery& query,
   return Submit(query, sink, submit).Result();
 }
 
+void SpatialService::ReapLocked(Clock::time_point now) {
+  auto it = queue_.begin();
+  while (it != queue_.end()) {
+    const std::shared_ptr<Ticket>& t = *it;
+    std::lock_guard<std::mutex> tl(t->mu);
+    if (t->state == Ticket::State::kDone) {  // Handle-side cancel.
+      if (t->cancelled_by_handle) counters_.cancelled++;
+      it = queue_.erase(it);
+      continue;
+    }
+    if (now >= t->deadline) {
+      counters_.deadline_expired++;
+      t->FinishLocked(Status::DeadlineExceeded(
+          "query #" + std::to_string(t->id) +
+          " expired after waiting for admission; the global memory "
+          "budget stayed occupied past the queue deadline"));
+      it = queue_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
 std::vector<std::shared_ptr<Ticket>> SpatialService::AdmitLocked() {
+  // Clear cancelled/expired tickets anywhere in the queue first, so they
+  // neither hold queue slots nor block the FIFO head.
+  ReapLocked(Clock::now());
   std::vector<std::shared_ptr<Ticket>> out;
-  const auto now = Clock::now();
   while (!queue_.empty()) {
     const std::shared_ptr<Ticket> t = queue_.front();
-    {
-      std::lock_guard<std::mutex> tl(t->mu);
-      if (t->state == Ticket::State::kDone) {  // Cancelled or expired.
-        queue_.pop_front();
-        continue;
-      }
-      if (now >= t->deadline) {
-        counters_.deadline_expired++;
-        t->FinishLocked(Status::DeadlineExceeded(
-            "query #" + std::to_string(t->id) +
-            " expired after waiting for admission; the global memory "
-            "budget stayed occupied past the queue deadline"));
-        queue_.pop_front();
-        continue;
-      }
-    }
+    const AdmitOutcome outcome = TryAdmitOneLocked(t);
     // Strict FIFO: if the head cannot be admitted (even degraded),
     // nothing behind it is — a stream of small queries can never starve
     // an earlier big one.
-    if (!TryAdmitOneLocked(t)) break;
+    if (outcome == AdmitOutcome::kNoBudget) break;
     queue_.pop_front();
-    out.push_back(t);
+    if (outcome == AdmitOutcome::kAdmitted) out.push_back(t);
+    // kResolvedMeanwhile: a Cancel() landed between ReapLocked and the
+    // commit; the ticket is popped without dispatching.
   }
   return out;
 }
 
-bool SpatialService::TryAdmitOneLocked(const std::shared_ptr<Ticket>& t) {
+SpatialService::AdmitOutcome SpatialService::TryAdmitOneLocked(
+    const std::shared_ptr<Ticket>& t) {
+  // requested_bytes / allow_degraded / strict are immutable once the
+  // ticket is published, so reading them without the ticket lock is fine.
   const size_t available = global_arbiter_.available();
   size_t grant = 0;
   bool degraded = false;
@@ -278,13 +349,21 @@ bool SpatialService::TryAdmitOneLocked(const std::shared_ptr<Ticket>& t) {
       degraded = true;
     }
   }
-  if (grant == 0) return false;
+  if (grant == 0) return AdmitOutcome::kNoBudget;
 
   auto child = global_arbiter_.CarveChild("query." + std::to_string(t->id),
                                           grant, t->strict);
-  if (!child.ok()) return false;
+  if (!child.ok()) return AdmitOutcome::kNoBudget;
   {
     std::lock_guard<std::mutex> tl(t->mu);
+    // Recheck under the ticket lock: a Cancel() may have resolved the
+    // ticket since this admission pass last looked at it. Committing
+    // blindly would overwrite kDone with kRunning and run a cancelled
+    // query. Dropping `child` here releases the carved budget.
+    if (t->state != Ticket::State::kQueued) {
+      if (t->cancelled_by_handle) counters_.cancelled++;
+      return AdmitOutcome::kResolvedMeanwhile;
+    }
     t->state = Ticket::State::kRunning;
     t->granted_bytes = grant;
     t->degraded = degraded;
@@ -300,7 +379,53 @@ bool SpatialService::TryAdmitOneLocked(const std::shared_ptr<Ticket>& t) {
     counters_.admitted_full++;
   }
   running_++;
-  return true;
+  return AdmitOutcome::kAdmitted;
+}
+
+std::vector<std::shared_ptr<Ticket>> SpatialService::ReapAfterHandleCancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // During shutdown the destructor's drain owns the queue (and folds the
+  // cancel count itself).
+  if (shutting_down_) return {};
+  return AdmitLocked();
+}
+
+void SpatialService::EnsureReaperLocked() {
+  if (!reaper_.joinable()) {
+    // Lazily started on the first submission that actually queues, so
+    // the single-query path (JoinQuery::Run over a fresh service) never
+    // pays for a thread.
+    reaper_ = std::thread(&SpatialService::ReaperLoop, this);
+  }
+}
+
+void SpatialService::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!reaper_stop_) {
+    // Sleep until the earliest queued deadline (or a queue change).
+    std::optional<Clock::time_point> next;
+    for (const std::shared_ptr<Ticket>& t : queue_) {
+      std::lock_guard<std::mutex> tl(t->mu);
+      if (t->state == Ticket::State::kQueued) {
+        next = next.has_value() ? std::min(*next, t->deadline) : t->deadline;
+      }
+    }
+    if (!next.has_value()) {
+      reaper_cv_.wait(lock);
+    } else {
+      reaper_cv_.wait_until(lock, *next);
+    }
+    if (reaper_stop_) break;
+    // Expire whatever is overdue and re-run admission: an expired head
+    // must not keep admittable queries behind it waiting for the next
+    // submit/completion.
+    std::vector<std::shared_ptr<Ticket>> to_dispatch = AdmitLocked();
+    if (!to_dispatch.empty()) {
+      lock.unlock();
+      Dispatch(std::move(to_dispatch));
+      lock.lock();
+    }
+  }
 }
 
 void SpatialService::Dispatch(
@@ -348,16 +473,6 @@ void SpatialService::Execute(const std::shared_ptr<Ticket>& ticket) {
     to_dispatch = AdmitLocked();  // The freed bytes may admit the head.
   }
   Dispatch(std::move(to_dispatch));
-}
-
-void SpatialService::NoteCancel() {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_.cancelled++;
-}
-
-void SpatialService::NoteQueueExpiry() {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_.deadline_expired++;
 }
 
 ServiceStats SpatialService::stats() const {

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/join_query.h"
@@ -20,6 +21,10 @@
 #include "util/thread_pool.h"
 
 namespace sj {
+
+namespace service_internal {
+struct ServiceGate;  // Handle-side liveness gate; defined in the .cc.
+}  // namespace service_internal
 
 /// Process-wide resource configuration for a SpatialService.
 struct ServiceOptions {
@@ -98,8 +103,9 @@ class SubmittedQuery {
   /// True once the query finished, failed, was cancelled, or expired.
   bool done() const;
 
-  /// Blocks until done (helping is not needed: a queued query expires at
-  /// its deadline, a running one finishes).
+  /// Blocks until done (helping is not needed: the service's reaper
+  /// thread expires a queued query at its deadline, a running one
+  /// finishes, and the service destructor resolves everything queued).
   void Wait() const;
 
   /// Best-effort cancel: a still-queued query completes immediately with
@@ -181,26 +187,48 @@ class SpatialService {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// Admits every queued ticket the FIFO head allows (full or degraded),
-  /// skipping cancelled/expired ones. Returns the tickets to dispatch;
-  /// caller must hold mu_ and dispatch after unlocking.
+  enum class AdmitOutcome {
+    kAdmitted,           // Committed: dispatch it.
+    kNoBudget,           // Free budget cannot cover it (even degraded).
+    kResolvedMeanwhile,  // A Cancel() resolved it mid-admission: pop only.
+  };
+
+  /// Removes cancelled tickets anywhere in queue_ (folding their count
+  /// into counters_) and fails past-deadline ones with DeadlineExceeded.
+  /// Caller must hold mu_.
+  void ReapLocked(Clock::time_point now);
+  /// Reaps, then admits every queued ticket the FIFO head allows (full
+  /// or degraded). Returns the tickets to dispatch; caller must hold mu_
+  /// and dispatch after unlocking.
   std::vector<std::shared_ptr<SubmittedQuery::Ticket>> AdmitLocked();
-  /// Carves the child arbiter etc. for `ticket` if the free budget
-  /// allows. Caller must hold mu_.
-  bool TryAdmitOneLocked(const std::shared_ptr<SubmittedQuery::Ticket>& t);
+  /// Carves the child arbiter etc. for `t` if the free budget allows,
+  /// rechecking under the ticket lock that no Cancel() raced the commit.
+  /// Caller must hold mu_.
+  AdmitOutcome TryAdmitOneLocked(
+      const std::shared_ptr<SubmittedQuery::Ticket>& t);
   void Dispatch(std::vector<std::shared_ptr<SubmittedQuery::Ticket>> tickets);
   void Execute(const std::shared_ptr<SubmittedQuery::Ticket>& ticket);
 
   friend class SubmittedQuery;
-  /// Counter bumps for handle-side transitions (Cancel / self-expiry in
-  /// Wait). Only reachable while the ticket was still queued, which
-  /// implies the service is alive — its destructor resolves every queued
-  /// ticket before returning.
-  void NoteCancel();
-  void NoteQueueExpiry();
+  /// Cancel()'s gate-guarded notification: reap the cancelled ticket's
+  /// queue slot now and re-run admission for whatever was behind it.
+  /// Returns the tickets to dispatch (already counted in running_).
+  std::vector<std::shared_ptr<SubmittedQuery::Ticket>> ReapAfterHandleCancel();
+
+  /// Starts the reaper thread on the first submission that actually
+  /// queues. Caller must hold mu_.
+  void EnsureReaperLocked();
+  /// Sleeps until the earliest queued deadline (or a queue change),
+  /// expires overdue tickets, and re-runs admission — so an expired head
+  /// releases the queries behind it at its deadline, not at the next
+  /// submit/completion.
+  void ReaperLoop();
 
   const ServiceOptions options_;
   MemoryArbiter global_arbiter_;
+  /// Shared with every ticket; the destructor nulls its service pointer
+  /// so handles outliving the service cannot call back into it.
+  std::shared_ptr<service_internal::ServiceGate> gate_;
   std::unique_ptr<ThreadPool> worker_pool_;   // Null in inline mode.
   std::unique_ptr<BufferPool> buffer_pool_;   // Null when pages == 0.
 
@@ -210,6 +238,9 @@ class SpatialService {
   size_t running_ = 0;
   bool shutting_down_ = false;
   std::condition_variable idle_cv_;  // Signaled when running_ drops.
+  std::thread reaper_;               // Lazily started; see ReaperLoop.
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;  // Guarded by mu_.
   ServiceStats counters_;
 };
 

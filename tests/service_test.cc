@@ -320,7 +320,7 @@ TEST_F(ContendedServiceTest, QueueDeadlineIsDeadlineExceeded) {
   opts.queue_deadline_seconds = 0.05;
   CollectingSink sink;
   SubmittedQuery starved = service.Submit(MakeQuery(8u << 20), &sink, opts);
-  const auto& result = starved.Result();  // Self-expires in Wait.
+  const auto& result = starved.Result();  // The reaper expires it.
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_GE(service.stats().deadline_expired, 1u);
@@ -352,6 +352,184 @@ TEST_F(ContendedServiceTest, CancelWorksOnQueuedNotRunning) {
   blocker.Release();
   ASSERT_TRUE(holder.Result().ok());
   EXPECT_TRUE(sink.pairs().empty());  // Never ran.
+}
+
+// The reaper regression: an inadmissible head that expires must release
+// the admittable queries behind it *at its deadline*, not at the next
+// submit or completion (there is neither here — the holder stays blocked
+// the whole time).
+TEST_F(ContendedServiceTest, ExpiredHeadReleasesQueriesBehindItAtDeadline) {
+  ServiceOptions so;
+  so.global_memory_bytes = 8u << 20;
+  so.worker_threads = 2;
+  SpatialService service(so);
+
+  BlockingSink blocker;
+  SubmittedQuery holder = service.Submit(MakeQuery(6u << 20), &blocker);
+  blocker.WaitEntered();  // 2 MB free.
+
+  SubmitOptions head_opts;
+  head_opts.allow_degraded = false;
+  head_opts.queue_deadline_seconds = 0.05;
+  CollectingSink head_sink, small_sink;
+  // Inadmissible head (needs the full 8 MB) with a short deadline ...
+  SubmittedQuery big = service.Submit(MakeQuery(8u << 20), &head_sink,
+                                      head_opts);
+  // ... and an admittable query stuck behind it (strict FIFO).
+  SubmitOptions small_opts;
+  small_opts.allow_degraded = false;
+  SubmittedQuery small =
+      service.Submit(MakeQuery(2u << 20), &small_sink, small_opts);
+
+  EXPECT_EQ(big.Result().status().code(), StatusCode::kDeadlineExceeded);
+  const auto& small_result = small.Result();  // Admitted at big's deadline.
+  ASSERT_TRUE(small_result.ok()) << small_result.status().ToString();
+  EXPECT_EQ(Sorted(small_sink.pairs()), expected_);
+  EXPECT_GE(service.stats().deadline_expired, 1u);
+
+  blocker.Release();
+  ASSERT_TRUE(holder.Result().ok());
+}
+
+// Cancelling an inadmissible head must free its queue slot and admit the
+// queries behind it immediately (again: no submit/completion happens
+// until they finish).
+TEST_F(ContendedServiceTest, CancelledHeadReleasesQueriesBehindIt) {
+  ServiceOptions so;
+  so.global_memory_bytes = 8u << 20;
+  so.worker_threads = 2;
+  SpatialService service(so);
+
+  BlockingSink blocker;
+  SubmittedQuery holder = service.Submit(MakeQuery(6u << 20), &blocker);
+  blocker.WaitEntered();  // 2 MB free.
+
+  SubmitOptions no_degrade;
+  no_degrade.allow_degraded = false;
+  CollectingSink head_sink, small_sink;
+  SubmittedQuery big = service.Submit(MakeQuery(8u << 20), &head_sink,
+                                      no_degrade);
+  SubmittedQuery small =
+      service.Submit(MakeQuery(2u << 20), &small_sink, no_degrade);
+  EXPECT_FALSE(small.done());
+
+  EXPECT_TRUE(big.Cancel());
+  const auto& small_result = small.Result();  // Admitted by the cancel.
+  ASSERT_TRUE(small_result.ok()) << small_result.status().ToString();
+  EXPECT_EQ(Sorted(small_sink.pairs()), expected_);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+
+  blocker.Release();
+  ASSERT_TRUE(holder.Result().ok());
+}
+
+// The admission-commit TOCTOU regression: a Cancel() racing the admission
+// pass that a completion triggers must either win (query never runs, sink
+// stays empty) or lose (query runs to its normal result) — never both
+// halves (a "cancelled" query that still executes).
+TEST_F(ContendedServiceTest, CancelRacingAdmissionNeverRunsCancelledQuery) {
+  for (int round = 0; round < 25; ++round) {
+    ServiceOptions so;
+    so.global_memory_bytes = 8u << 20;
+    so.worker_threads = 2;
+    SpatialService service(so);
+
+    BlockingSink blocker;
+    SubmittedQuery holder = service.Submit(MakeQuery(8u << 20), &blocker);
+    blocker.WaitEntered();
+
+    SubmitOptions no_degrade;
+    no_degrade.allow_degraded = false;
+    CollectingSink sink;
+    SubmittedQuery queued =
+        service.Submit(MakeQuery(8u << 20), &sink, no_degrade);
+
+    bool cancel_won = false;
+    std::thread canceller(
+        [&queued, &cancel_won] { cancel_won = queued.Cancel(); });
+    blocker.Release();  // Completion re-runs admission, racing the cancel.
+    canceller.join();
+
+    const auto& result = queued.Result();
+    if (cancel_won) {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+      EXPECT_TRUE(sink.pairs().empty()) << "cancelled query executed";
+    } else {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(Sorted(sink.pairs()), expected_);
+    }
+    ASSERT_TRUE(holder.Result().ok());
+  }
+}
+
+// Handles outliving the service: Cancel() after (or racing) destruction
+// must not touch the dead service — the destructor's drain resolves the
+// ticket, and the gate blocks the callback path.
+TEST_F(ContendedServiceTest, CancelOnHandleOutlivingServiceIsSafe) {
+  SubmittedQuery queued;
+  CollectingSink sink;
+  {
+    ServiceOptions so;
+    so.global_memory_bytes = 8u << 20;
+    so.worker_threads = 1;
+    SpatialService service(so);
+    BlockingSink blocker;
+    SubmittedQuery holder = service.Submit(MakeQuery(8u << 20), &blocker);
+    blocker.WaitEntered();
+    SubmitOptions no_degrade;
+    no_degrade.allow_degraded = false;
+    queued = service.Submit(MakeQuery(8u << 20), &sink, no_degrade);
+    blocker.Release();
+    queued.Cancel();  // May race the drain; both orders are fine.
+  }  // Service destroyed; the handle lives on.
+  EXPECT_FALSE(queued.Cancel());  // Long dead: nothing to cancel.
+  const auto& result = queued.Result();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    EXPECT_TRUE(sink.pairs().empty());
+  } else {
+    EXPECT_EQ(Sorted(sink.pairs()), expected_);  // Cancel lost the race.
+  }
+}
+
+TEST_F(ContendedServiceTest, CancelRacingServiceDestructionIsSafe) {
+  for (int round = 0; round < 25; ++round) {
+    auto service = std::make_unique<SpatialService>([] {
+      ServiceOptions so;
+      so.global_memory_bytes = 8u << 20;
+      so.worker_threads = 1;
+      return so;
+    }());
+    BlockingSink blocker;
+    SubmittedQuery holder = service->Submit(MakeQuery(8u << 20), &blocker);
+    blocker.WaitEntered();
+    SubmitOptions no_degrade;
+    no_degrade.allow_degraded = false;
+    CollectingSink sink;
+    SubmittedQuery queued =
+        service->Submit(MakeQuery(8u << 20), &sink, no_degrade);
+
+    // Destruction's drain and the handle's Cancel race for the ticket;
+    // whichever wins, the loser must not touch freed memory (TSan/ASan
+    // guard this tier) and the query must never run.
+    std::thread destroyer([&service] { service.reset(); });
+    std::thread canceller([&queued] { queued.Cancel(); });
+    blocker.Release();
+    destroyer.join();
+    canceller.join();
+
+    // Three legal outcomes: cancelled by the handle, cancelled by the
+    // drain, or admitted by the holder's completion before either — but
+    // never a cancelled query that executed anyway.
+    const auto& result = queued.Result();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+      EXPECT_TRUE(sink.pairs().empty());
+    } else {
+      EXPECT_EQ(Sorted(sink.pairs()), expected_);
+    }
+    ASSERT_TRUE(holder.Result().ok());
+  }
 }
 
 TEST_F(ContendedServiceTest, ShutdownCancelsQueuedAndDrainsRunning) {
