@@ -63,7 +63,9 @@ Status JoinQuery::ApplyDistanceTransform(CompiledPlan& plan) {
   for (RectF& r : rects) r = ExpandRectForDistance(r, eps);
   transform_grant.NoteUsage(rects.size() * sizeof(RectF));
 
-  auto pager = MakeMemoryPager(plan.disk, "distance.expanded");
+  SJ_ASSIGN_OR_RETURN(
+      auto pager,
+      MakePager(plan.options.storage.get(), plan.disk, "distance.expanded"));
   StreamWriter<RectF> writer(pager.get());
   const PageId first = writer.first_page();
   for (const RectF& r : rects) writer.Append(r);
@@ -76,8 +78,12 @@ Status JoinQuery::ApplyDistanceTransform(CompiledPlan& plan) {
   if (algorithm_ == JoinAlgorithm::kST) {
     // ST traverses two indexes, so the expanded side gets a temporary
     // tree of its own (same parameters as the original index).
-    auto tree_pager = MakeMemoryPager(plan.disk, "distance.expanded.tree");
-    auto scratch = MakeMemoryPager(plan.disk, "distance.expanded.scratch");
+    SJ_ASSIGN_OR_RETURN(auto tree_pager,
+                        MakePager(plan.options.storage.get(), plan.disk,
+                                  "distance.expanded.tree"));
+    SJ_ASSIGN_OR_RETURN(auto scratch,
+                        MakePager(plan.options.storage.get(), plan.disk,
+                                  "distance.expanded.scratch"));
     const RTreeParams params =
         original.indexed() ? original.rtree()->params() : RTreeParams();
     SJ_ASSIGN_OR_RETURN(

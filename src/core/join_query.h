@@ -94,6 +94,14 @@ class JoinQuery {
   JoinQuery& FuseMergeSweep(bool on) { return Mutate([&](JoinOptions& o) { o.fuse_merge_sweep = on; }); }
   JoinQuery& MultiwayStrips(uint32_t strips) { return Mutate([&](JoinOptions& o) { o.multiway_strips = strips; }); }
   JoinQuery& RefineBatchPairs(uint32_t pairs) { return Mutate([&](JoinOptions& o) { o.refine_batch_pairs = pairs; }); }
+  /// Storage backend for this query's scratch/spill files (null =
+  /// in-memory). Shared because partition shards create files
+  /// concurrently; results and modeled I/O are identical on any backend.
+  JoinQuery& Storage(std::shared_ptr<StorageFactory> factory) { return Mutate([&](JoinOptions& o) { o.storage = std::move(factory); }); }
+  /// Double-buffered read-ahead on stream scans and refinement batches.
+  /// Never changes results, candidate counts, or modeled io_seconds —
+  /// only measured wall time (JoinStats::disk.io_wall_seconds).
+  JoinQuery& Prefetch(bool on) { return Mutate([&](JoinOptions& o) { o.prefetch = on; }); }
 
   JoinOptions& mutable_options() { return options_; }
   const JoinOptions& options() const { return options_; }

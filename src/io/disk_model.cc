@@ -19,6 +19,7 @@ DiskStats DiskStats::operator-(const DiskStats& o) const {
   d.pages_read = pages_read - o.pages_read;
   d.pages_written = pages_written - o.pages_written;
   d.io_seconds = io_seconds - o.io_seconds;
+  d.io_wall_seconds = io_wall_seconds - o.io_wall_seconds;
   return d;
 }
 
@@ -32,6 +33,7 @@ DiskStats& DiskStats::operator+=(const DiskStats& o) {
   pages_read += o.pages_read;
   pages_written += o.pages_written;
   io_seconds += o.io_seconds;
+  io_wall_seconds += o.io_wall_seconds;
   return *this;
 }
 
@@ -132,6 +134,11 @@ void DiskModel::Write(uint32_t dev, uint64_t first_page, uint32_t npages) {
   stats_.pages_written += npages;
   devices_[dev].pages_written += npages;
   devices_[dev].write_requests++;
+}
+
+void DiskModel::AddIoWall(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.io_wall_seconds += seconds;
 }
 
 void DiskModel::ResetStats() {

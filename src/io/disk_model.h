@@ -27,6 +27,12 @@ struct DiskStats {
   uint64_t pages_written = 0;
   /// Modeled elapsed disk time in seconds.
   double io_seconds = 0.0;
+  /// Measured wall-clock seconds spent inside actual StorageBackend
+  /// reads/writes charged to this model (near zero for MemoryBackend,
+  /// real transfer time for FileBackend). Background prefetch reports its
+  /// fetch time here too, so overlapped fetches can sum to more than the
+  /// elapsed wall time of the join.
+  double io_wall_seconds = 0.0;
 
   DiskStats operator-(const DiskStats& o) const;
   /// Accumulates another disk's counters and modeled time (merging the
@@ -86,6 +92,12 @@ class DiskModel {
   void Read(uint32_t dev, uint64_t first_page, uint32_t npages);
   /// Charges a write of `npages` pages starting at `first_page` of `dev`.
   void Write(uint32_t dev, uint64_t first_page, uint32_t npages);
+
+  /// Accumulates measured wall-clock seconds spent in real backend I/O.
+  /// Kept separate from Read/Write so the *modeled* charge stream (and
+  /// with it stream-detection state) is identical whether the bytes moved
+  /// synchronously or on a prefetch thread.
+  void AddIoWall(double seconds);
 
   /// Consistent snapshots (by value: the counters may move concurrently).
   DiskStats stats() const;

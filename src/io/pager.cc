@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace sj {
 
@@ -16,46 +17,69 @@ Pager::Pager(std::unique_ptr<StorageBackend> backend, DiskModel* disk,
 
 Status Pager::ReadPage(PageId page, void* buf) {
   disk_->Read(device_, page, 1);
-  return backend_->ReadPage(page, buf);
+  WallTimer wall;
+  Status s = backend_->ReadPage(page, buf);
+  disk_->AddIoWall(wall.Elapsed());
+  return s;
 }
 
 Status Pager::ReadRun(PageId first, uint32_t npages, void* buf) {
   if (npages == 0) return Status::OK();
   disk_->Read(device_, first, npages);
+  WallTimer wall;
   uint8_t* out = static_cast<uint8_t*>(buf);
-  for (uint32_t i = 0; i < npages; ++i) {
-    SJ_RETURN_IF_ERROR(backend_->ReadPage(first + i, out + i * kPageSize));
+  Status s;
+  for (uint32_t i = 0; i < npages && s.ok(); ++i) {
+    s = backend_->ReadPage(first + i, out + i * kPageSize);
   }
-  return Status::OK();
+  disk_->AddIoWall(wall.Elapsed());
+  return s;
 }
 
 Status Pager::WritePage(PageId page, const void* buf) {
   disk_->Write(device_, page, 1);
   allocated_ = std::max<uint64_t>(allocated_, page + 1);
-  return backend_->WritePage(page, buf);
+  WallTimer wall;
+  Status s = backend_->WritePage(page, buf);
+  disk_->AddIoWall(wall.Elapsed());
+  return s;
 }
 
 Status Pager::WriteRun(PageId first, uint32_t npages, const void* buf) {
   if (npages == 0) return Status::OK();
   disk_->Write(device_, first, npages);
   allocated_ = std::max<uint64_t>(allocated_, first + npages);
+  WallTimer wall;
   const uint8_t* in = static_cast<const uint8_t*>(buf);
-  for (uint32_t i = 0; i < npages; ++i) {
-    SJ_RETURN_IF_ERROR(backend_->WritePage(first + i, in + i * kPageSize));
+  Status s;
+  for (uint32_t i = 0; i < npages && s.ok(); ++i) {
+    s = backend_->WritePage(first + i, in + i * kPageSize);
   }
-  return Status::OK();
+  disk_->AddIoWall(wall.Elapsed());
+  return s;
 }
 
 PageId Pager::Allocate(uint32_t npages) {
   const uint64_t first = allocated_;
   allocated_ += npages;
-  SJ_CHECK(allocated_ <= kInvalidPageId) << "pager" << name_ << "overflow";
+  SJ_CHECK(allocated_ <= kInvalidPageId)
+      << "pager '" << name_ << "': allocating " << npages
+      << " pages overflows the 32-bit PageId space (" << allocated_
+      << " pages total; max " << kInvalidPageId << ")";
   return static_cast<PageId>(first);
 }
 
 std::unique_ptr<Pager> MakeMemoryPager(DiskModel* disk, std::string name) {
   return std::make_unique<Pager>(std::make_unique<MemoryBackend>(), disk,
                                  std::move(name));
+}
+
+Result<std::unique_ptr<Pager>> MakePager(StorageFactory* factory,
+                                         DiskModel* disk, std::string name) {
+  if (factory == nullptr) return MakeMemoryPager(disk, std::move(name));
+  SJ_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
+                      factory->Create(name));
+  return std::make_unique<Pager>(std::move(backend), disk, std::move(name));
 }
 
 std::unique_ptr<Pager> RehomePager(std::unique_ptr<Pager> pager,

@@ -7,6 +7,7 @@
 
 #include "io/disk_model.h"
 #include "io/storage.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace sj {
@@ -48,8 +49,10 @@ class Pager {
   /// Direct access to the backing storage for readers that do their own
   /// cost accounting (the parallel refinement executor reads a shared
   /// feature store from many workers and charges each worker's private
-  /// DiskModel shard). Concurrent ReadPage calls are safe on both
-  /// backends as long as nothing writes the file.
+  /// DiskModel shard; BlockPrefetcher fetches ahead on a background
+  /// task). Both backends are safe for concurrent page-granular access,
+  /// but a page's *content* is only stable once its stream is finished —
+  /// fetch immutable ranges only.
   StorageBackend* backend() const { return backend_.get(); }
 
   /// Pages allocated so far (>= backend page count until they are written).
@@ -69,6 +72,13 @@ class Pager {
 
 /// Convenience factory: a memory-backed pager on `disk`.
 std::unique_ptr<Pager> MakeMemoryPager(DiskModel* disk, std::string name);
+
+/// Factory-aware pager creation: the storage choice of the query/service
+/// (`factory`, null = MemoryBackend) decides what backs the file. All
+/// algorithm scratch/spill pager creation goes through here so a single
+/// JoinOptions knob switches the whole pipeline onto real files.
+Result<std::unique_ptr<Pager>> MakePager(StorageFactory* factory,
+                                         DiskModel* disk, std::string name);
 
 /// Moves a finished file onto another DiskModel: the returned pager owns
 /// `pager`'s backend (same bytes, same page ids, same allocation count)

@@ -1,0 +1,130 @@
+#include "io/prefetch.h"
+
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace sj {
+
+BlockPrefetcher::BlockPrefetcher(Pager* pager, ThreadPool* pool)
+    : shared_(std::make_shared<Shared>()), pool_(pool) {
+  shared_->pager = pager;
+}
+
+BlockPrefetcher::~BlockPrefetcher() {
+  {
+    std::unique_lock<std::mutex> lk(shared_->mu);
+    // Claim-cancel anything still queued so no task starts a fetch against
+    // a dying pager, then wait out a fetch already running.
+    if (shared_->state == State::kQueued) shared_->state = State::kDone;
+    shared_->cv.wait(lk,
+                     [this] { return shared_->state != State::kRunning; });
+    shared_->stop = true;
+    shared_->cv.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+bool BlockPrefetcher::TryClaim(Shared* s) {
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->state != State::kQueued) return false;
+  s->state = State::kRunning;
+  return true;
+}
+
+void BlockPrefetcher::DoFetch(Shared* s) {
+  WallTimer wall;
+  StorageBackend* backend = s->pager->backend();
+  uint8_t* out = s->buf.data();
+  Status status;
+  for (const PageRun& run : s->runs) {
+    for (uint32_t i = 0; i < run.npages && status.ok(); ++i) {
+      status = backend->ReadPage(run.first + i, out + i * kPageSize);
+    }
+    out += static_cast<size_t>(run.npages) * kPageSize;
+    if (!status.ok()) break;
+  }
+  const double elapsed = wall.Elapsed();
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->wall_seconds = elapsed;
+  s->status = std::move(status);
+  s->state = State::kDone;
+  s->cv.notify_all();
+}
+
+void BlockPrefetcher::ThreadLoop(const std::shared_ptr<Shared>& s) {
+  std::unique_lock<std::mutex> lk(s->mu);
+  for (;;) {
+    s->cv.wait(lk, [&] { return s->stop || s->state == State::kQueued; });
+    if (s->state == State::kQueued) {
+      s->state = State::kRunning;
+      lk.unlock();
+      DoFetch(s.get());
+      lk.lock();
+    } else if (s->stop) {
+      return;
+    }
+  }
+}
+
+void BlockPrefetcher::Start(std::vector<PageRun> runs) {
+  size_t total_pages = 0;
+  for (const PageRun& run : runs) total_pages += run.npages;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    SJ_CHECK(shared_->state == State::kIdle)
+        << "BlockPrefetcher::Start with a fetch in flight";
+    shared_->runs = std::move(runs);
+    shared_->buf.resize(total_pages * kPageSize);
+    shared_->status = Status::OK();
+    shared_->wall_seconds = 0.0;
+    shared_->state = State::kQueued;
+  }
+  if (pool_ != nullptr) {
+    std::shared_ptr<Shared> s = shared_;
+    pool_->Submit([s] {
+      if (TryClaim(s.get())) DoFetch(s.get());
+    });
+  } else {
+    if (!thread_.joinable()) {
+      std::shared_ptr<Shared> s = shared_;
+      thread_ = std::thread([s] { ThreadLoop(s); });
+    }
+    shared_->cv.notify_all();
+  }
+}
+
+Status BlockPrefetcher::Finish(std::vector<uint8_t>* out) {
+  return FinishCharged(out, shared_->pager->disk(),
+                       shared_->pager->device_id());
+}
+
+Status BlockPrefetcher::FinishCharged(std::vector<uint8_t>* out,
+                                      DiskModel* charge_disk,
+                                      uint32_t charge_dev) {
+  if (TryClaim(shared_.get())) DoFetch(shared_.get());
+  std::unique_lock<std::mutex> lk(shared_->mu);
+  SJ_CHECK(shared_->state != State::kIdle)
+      << "BlockPrefetcher::Finish without Start";
+  shared_->cv.wait(lk, [this] { return shared_->state == State::kDone; });
+  // The modeled charge happens here — on the consumer, in consumption
+  // order — so the DiskModel's stream-detection state and io_seconds are
+  // identical to the synchronous path.
+  for (const PageRun& run : shared_->runs) {
+    charge_disk->Read(charge_dev, run.first, run.npages);
+  }
+  charge_disk->AddIoWall(shared_->wall_seconds);
+  out->swap(shared_->buf);
+  Status status = std::move(shared_->status);
+  shared_->status = Status::OK();
+  shared_->state = State::kIdle;
+  return status;
+}
+
+bool BlockPrefetcher::in_flight() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state != State::kIdle;
+}
+
+}  // namespace sj

@@ -45,7 +45,10 @@ class StreamWriter {
     first_page_ = pager_->Allocate(0);  // Current end; pages allocated on flush.
   }
 
-  ~StreamWriter() { SJ_CHECK(finished_) << "StreamWriter destroyed without Finish()"; }
+  ~StreamWriter() {
+    SJ_CHECK(finished_)
+        << "StreamWriter destroyed without Finish() or Abandon()";
+  }
 
   StreamWriter(const StreamWriter&) = delete;
   StreamWriter& operator=(const StreamWriter&) = delete;
@@ -65,22 +68,42 @@ class StreamWriter {
     }
   }
 
-  /// Flushes buffered records; returns the total record count.
+  /// Flushes buffered records; returns the total record count, or the
+  /// first write error the stream hit (deferred from Append's flushes).
   Result<uint64_t> Finish() {
     if (!finished_) {
       FlushBlock();
       finished_ = true;
     }
+    if (!status_.ok()) return status_;
     return count_;
+  }
+
+  /// Declares the stream dead without flushing: buffered records are
+  /// dropped and the destructor will not abort. For error-path unwinding
+  /// (a failed distribution pass destroys its open writers); the pages
+  /// already flushed stay allocated but are never read.
+  void Abandon() {
+    records_in_block_ = 0;
+    finished_ = true;
   }
 
   /// First page of the stream within the pager.
   PageId first_page() const { return first_page_; }
   uint64_t count() const { return count_; }
 
+  /// First error any flush hit; sticky, surfaced by Finish(). Append
+  /// keeps accepting records after an error (they are dropped at flush)
+  /// so producers need no per-record checks.
+  const Status& status() const { return status_; }
+
  private:
   void FlushBlock() {
     if (records_in_block_ == 0) return;
+    if (!status_.ok()) {
+      records_in_block_ = 0;
+      return;
+    }
     const uint32_t npages = static_cast<uint32_t>(
         (records_in_block_ + kRecordsPerPage - 1) / kRecordsPerPage);
     // Zero the tail of the last partial page so page images are
@@ -91,7 +114,7 @@ class StreamWriter {
     std::memset(last + used_in_last * sizeof(T), 0,
                 kPageSize - used_in_last * sizeof(T));
     const PageId start = pager_->Allocate(npages);
-    SJ_CHECK_OK(pager_->WriteRun(start, npages, buffer_.data()));
+    status_ = pager_->WriteRun(start, npages, buffer_.data());
     records_in_block_ = 0;
   }
 
@@ -102,6 +125,7 @@ class StreamWriter {
   uint64_t records_in_block_ = 0;
   uint64_t count_ = 0;
   bool finished_ = false;
+  Status status_;
 };
 
 /// Sequentially reads records written by a StreamWriter<T>.
@@ -152,9 +176,13 @@ class StreamReader {
     const uint64_t take = std::min<uint64_t>(remaining_, per_block);
     const uint32_t npages = static_cast<uint32_t>(
         (take + kRecordsPerPage - 1) / kRecordsPerPage);
-    SJ_CHECK_OK(pager_->ReadRun(
-        static_cast<PageId>(first_page_ + pages_consumed_), npages,
-        buffer_.data()));
+    const uint64_t first = first_page_ + pages_consumed_;
+    SJ_CHECK(first + npages <= uint64_t{kInvalidPageId})
+        << "stream on pager '" << pager_->name() << "' reads past the "
+        << "32-bit PageId space (block at page " << first << " + " << npages
+        << " pages)";
+    SJ_CHECK_OK(pager_->ReadRun(static_cast<PageId>(first), npages,
+                                buffer_.data()));
     pages_consumed_ += npages;
     records_left_in_block_ = take;
     block_record_cursor_ = 0;

@@ -198,11 +198,15 @@ namespace {
 /// running stream algorithms against trees. The backing pager is parked
 /// on the plan so the returned DatasetRef outlives the executor call.
 Result<DatasetRef> ExtractLeaves(CompiledPlan& plan, const RTree& tree) {
-  auto out = MakeMemoryPager(plan.disk, "extract.leaves");
-  StreamWriter<RectF> writer(out.get());
-  const PageId first = writer.first_page();
+  // Collect before the writer exists so an index error unwinds without
+  // leaving an unfinished stream behind.
   std::vector<RectF> all;
   SJ_RETURN_IF_ERROR(tree.CollectAll(&all));
+  SJ_ASSIGN_OR_RETURN(
+      auto out,
+      MakePager(plan.options.storage.get(), plan.disk, "extract.leaves"));
+  StreamWriter<RectF> writer(out.get());
+  const PageId first = writer.first_page();
   for (const RectF& r : all) writer.Append(r);
   SJ_ASSIGN_OR_RETURN(uint64_t n, writer.Finish());
   DatasetRef ref;
@@ -255,14 +259,19 @@ Result<PreparedSource> PrepareSource(CompiledPlan& plan,
       return prepared;
     }
     case JoinInput::Kind::kStream: {
-      prepared.scratch = MakeMemoryPager(plan.disk, "join.sort.runs");
-      prepared.sorted = MakeMemoryPager(plan.disk, "join.sort.out");
+      SJ_ASSIGN_OR_RETURN(prepared.scratch,
+                          MakePager(plan.options.storage.get(), plan.disk,
+                                    "join.sort.runs"));
+      SJ_ASSIGN_OR_RETURN(prepared.sorted,
+                          MakePager(plan.options.storage.get(), plan.disk,
+                                    "join.sort.out"));
       SJ_ASSIGN_OR_RETURN(
           StreamRange sorted,
           SortRectsByYLo(input.stream().range, prepared.scratch.get(),
                          prepared.sorted.get(),
                          plan.options.memory_bytes / 2,
-                         plan.arbiter.get()));
+                         plan.arbiter.get(),
+                         PrefetchContextOf(plan.options)));
       prepared.source = std::make_unique<SortedStreamSource>(sorted);
       return prepared;
     }
@@ -443,8 +452,10 @@ Result<MultiwayStats> ExecuteMultiwayFilter(CompiledPlan& plan,
     stream_pagers.reserve(prepared.size());
     streams.reserve(prepared.size());
     for (size_t i = 0; i < prepared.size(); ++i) {
-      auto pager = MakeMemoryPager(
-          plan.disk, "multiway.materialized." + std::to_string(i));
+      SJ_ASSIGN_OR_RETURN(
+          auto pager,
+          MakePager(plan.options.storage.get(), plan.disk,
+                    "multiway.materialized." + std::to_string(i)));
       StreamWriter<RectF> writer(pager.get());
       const PageId first = writer.first_page();
       while (std::optional<RectF> r = prepared[i].source->Next()) {

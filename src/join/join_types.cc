@@ -56,7 +56,53 @@ std::string JoinStats::Describe(const MachineModel& m) const {
   os << Describe() << "; modeled " << ObservedSeconds(m) << " s ("
      << ObservedIoSeconds() << " s I/O + " << ScaledCpuSeconds(m)
      << " s CPU)";
+  if (disk.io_wall_seconds > 0.0) {
+    // Real bytes moved (file backend and/or prefetch): the measured wall
+    // next to the modeled figure. Overlapped background fetches can sum
+    // to more than elapsed time.
+    os.precision(4);
+    os << "; measured " << disk.io_wall_seconds << " s I/O wall";
+  }
   return os.str();
+}
+
+std::vector<std::pair<std::string, std::string>> JoinStats::ToKeyValues()
+    const {
+  std::vector<std::pair<std::string, std::string>> kv;
+  auto num = [](double v) {
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+  };
+  kv.emplace_back("output_count", std::to_string(output_count));
+  kv.emplace_back("candidate_count", std::to_string(candidate_count));
+  kv.emplace_back("pages_read", std::to_string(disk.pages_read));
+  kv.emplace_back("pages_written", std::to_string(disk.pages_written));
+  kv.emplace_back("io_seconds", num(disk.io_seconds));
+  kv.emplace_back("io_wall_seconds", num(disk.io_wall_seconds));
+  kv.emplace_back("host_cpu_seconds", num(host_cpu_seconds));
+  if (index_pages_read > 0) {
+    kv.emplace_back("index_pages_read", std::to_string(index_pages_read));
+  }
+  if (refine_pages_read > 0) {
+    kv.emplace_back("refine_pages_read", std::to_string(refine_pages_read));
+  }
+  if (max_sweep_bytes > 0) {
+    kv.emplace_back("max_sweep_bytes", std::to_string(max_sweep_bytes));
+  }
+  if (max_queue_bytes > 0) {
+    kv.emplace_back("max_queue_bytes", std::to_string(max_queue_bytes));
+  }
+  if (partitions_total > 0) {
+    kv.emplace_back("partitions_total", std::to_string(partitions_total));
+    kv.emplace_back("partitions_overflowed",
+                    std::to_string(partitions_overflowed));
+  }
+  if (peak_memory_bytes > 0) {
+    kv.emplace_back("peak_memory_bytes", std::to_string(peak_memory_bytes));
+  }
+  return kv;
 }
 
 std::ostream& operator<<(std::ostream& os, const JoinStats& stats) {

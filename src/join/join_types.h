@@ -6,12 +6,14 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/memory_arbiter.h"
 #include "geometry/rect.h"
 #include "io/buffer_pool.h"
 #include "io/disk_model.h"
+#include "io/prefetch.h"
 #include "io/stream.h"
 #include "sort/external_sort.h"
 #include "sweep/interval_structures.h"
@@ -111,7 +113,31 @@ struct JoinOptions {
   /// Stats client id in shared_buffer_pool (from RegisterClient) that
   /// this query's pool traffic is attributed to.
   uint32_t buffer_pool_client = 0;
+  /// Storage choice for every scratch/spill file the query creates (sort
+  /// runs, PBSM partition files, spill streams, expanded inputs). Null =
+  /// MemoryBackend, the simulation default. Shared because a service
+  /// injects one factory into many queries; implementations must be
+  /// thread-safe. Results and modeled I/O are identical on any backend —
+  /// only io_wall_seconds changes.
+  std::shared_ptr<StorageFactory> storage;
+  /// Double-buffered read-ahead in the streaming readers (external-sort
+  /// merge, PQ spill cursors, PBSM partition loads, refinement batches):
+  /// block N+1 fetches on a background task while block N drains. Fetches
+  /// go to worker_pool when set, else each reader owns one thread. Never
+  /// changes results, candidate counts, or modeled io_seconds — prefetch
+  /// only moves *when* bytes arrive, never which requests are charged.
+  /// Off by default (costs an extra block buffer per reader).
+  bool prefetch = false;
 };
+
+/// The PrefetchContext a query's options describe (threaded through to
+/// every adoption point alongside the options themselves).
+inline PrefetchContext PrefetchContextOf(const JoinOptions& options) {
+  PrefetchContext ctx;
+  ctx.enabled = options.prefetch;
+  ctx.pool = options.worker_pool;
+  return ctx;
+}
 
 /// Everything measured about one join execution.
 ///
@@ -185,12 +211,21 @@ struct JoinStats {
     return host_cpu_seconds * m.cpu_slowdown;
   }
 
+  /// Measured wall time spent inside actual backend reads/writes
+  /// (DiskStats::io_wall_seconds) — the real-I/O counterpart of the
+  /// modeled io_seconds, for modeled-vs-measured validation.
+  double MeasuredIoWallSeconds() const { return disk.io_wall_seconds; }
+
   /// One human-readable line of the machine-independent counters (result
   /// and candidate counts, pages, peak structure sizes).
   std::string Describe() const;
   /// Describe() plus the modeled times under machine `m` (observed
-  /// seconds with the I/O and scaled-CPU split).
+  /// seconds with the I/O and scaled-CPU split) and, when real bytes
+  /// moved, the measured I/O wall next to the modeled figure.
   std::string Describe(const MachineModel& m) const;
+  /// Structured form for logs and benchmark harnesses, same convention
+  /// as PlanDecision::ToKeyValues().
+  std::vector<std::pair<std::string, std::string>> ToKeyValues() const;
 };
 
 /// Streams Describe() — the machine-independent form.

@@ -37,7 +37,37 @@ std::string MultiwayStats::Describe(const MachineModel& m) const {
   os << Describe() << "; modeled "
      << (disk.io_seconds + host_cpu_seconds * m.cpu_slowdown) << " s ("
      << disk.io_seconds << " s I/O)";
+  if (disk.io_wall_seconds > 0.0) {
+    os.precision(4);
+    os << "; measured " << disk.io_wall_seconds << " s I/O wall";
+  }
   return os.str();
+}
+
+std::vector<std::pair<std::string, std::string>> MultiwayStats::ToKeyValues()
+    const {
+  std::vector<std::pair<std::string, std::string>> kv;
+  auto num = [](double v) {
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+  };
+  kv.emplace_back("output_count", std::to_string(output_count));
+  kv.emplace_back("candidate_count", std::to_string(candidate_count));
+  kv.emplace_back("pages_read", std::to_string(disk.pages_read));
+  kv.emplace_back("pages_written", std::to_string(disk.pages_written));
+  kv.emplace_back("io_seconds", num(disk.io_seconds));
+  kv.emplace_back("io_wall_seconds", num(disk.io_wall_seconds));
+  kv.emplace_back("host_cpu_seconds", num(host_cpu_seconds));
+  kv.emplace_back("max_bytes", std::to_string(max_bytes));
+  if (refine_pages_read > 0) {
+    kv.emplace_back("refine_pages_read", std::to_string(refine_pages_read));
+  }
+  if (peak_memory_bytes > 0) {
+    kv.emplace_back("peak_memory_bytes", std::to_string(peak_memory_bytes));
+  }
+  return kv;
 }
 
 std::ostream& operator<<(std::ostream& os, const MultiwayStats& stats) {
@@ -230,10 +260,22 @@ Result<MultiwayStats> MultiwayJoinStreams(const std::vector<DatasetRef>& inputs,
   }
   for (size_t in = 0; in < k; ++in) {
     std::vector<std::unique_ptr<StreamWriter<RectF>>> writers(map.strips());
+    // Abandons every still-open writer of this input so an error return
+    // unwinds instead of tripping the writers' destructor checks.
+    auto abandon_writers = [&writers]() {
+      for (auto& w : writers) {
+        if (w != nullptr) w->Abandon();
+      }
+    };
     for (uint32_t s = 0; s < map.strips(); ++s) {
-      strips[s].pagers[in] = MakeMemoryPager(
-          disk, "multiway.strip." + std::to_string(s) + "." +
-                    std::to_string(in));
+      Result<std::unique_ptr<Pager>> pager = MakePager(
+          options.storage.get(), disk,
+          "multiway.strip." + std::to_string(s) + "." + std::to_string(in));
+      if (!pager.ok()) {
+        abandon_writers();
+        return pager.status();
+      }
+      strips[s].pagers[in] = std::move(pager).value();
       writers[s] = std::make_unique<StreamWriter<RectF>>(
           strips[s].pagers[in].get(), /*block_pages=*/4);
     }
@@ -245,12 +287,20 @@ Result<MultiwayStats> MultiwayJoinStreams(const std::vector<DatasetRef>& inputs,
       const uint32_t s1 = map.StripOf(r->xhi);
       for (uint32_t s = s0; s <= s1; ++s) writers[s]->Append(*r);
     }
+    // Finish every writer even when one fails, then surface the first
+    // failure (Finish marks a stream finished on error too).
+    Status first_error = Status::OK();
     for (uint32_t s = 0; s < map.strips(); ++s) {
       const PageId first = writers[s]->first_page();
-      SJ_ASSIGN_OR_RETURN(uint64_t n, writers[s]->Finish());
-      strips[s].ranges[in] =
-          StreamRange{strips[s].pagers[in].get(), first, n};
+      Result<uint64_t> n = writers[s]->Finish();
+      if (n.ok()) {
+        strips[s].ranges[in] =
+            StreamRange{strips[s].pagers[in].get(), first, n.value()};
+      } else if (first_error.ok()) {
+        first_error = n.status();
+      }
     }
+    SJ_RETURN_IF_ERROR(first_error);
   }
 
   // Phase 2: one chain per strip against a private shard; a tuple is

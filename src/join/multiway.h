@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/disk_model.h"
@@ -78,8 +79,11 @@ struct MultiwayStats {
 
   /// One human-readable line of the machine-independent counters.
   std::string Describe() const;
-  /// Describe() plus the modeled time under machine `m`.
+  /// Describe() plus the modeled time under machine `m`, and the
+  /// measured I/O wall when real bytes moved.
   std::string Describe(const MachineModel& m) const;
+  /// Structured form, same convention as JoinStats::ToKeyValues().
+  std::vector<std::pair<std::string, std::string>> ToKeyValues() const;
 };
 
 /// Streams Describe() — the machine-independent form.

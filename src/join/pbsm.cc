@@ -28,6 +28,14 @@ struct PartitionFile {
 // partition counts) on the fixed path, the plan-budgeted size on the
 // adaptive path.
 
+/// Error-path unwinding: declares every still-open writer dead so the
+/// destructors do not abort mid-return.
+void AbandonAll(std::vector<PartitionFile>* files) {
+  for (PartitionFile& f : *files) {
+    if (f.writer != nullptr) f.writer->Abandon();
+  }
+}
+
 Status DistributeInput(const DatasetRef& input, const PartitionMap& grid,
                        std::vector<PartitionFile>* files) {
   StreamReader<RectF> reader(input.range.pager, input.range.first_page,
@@ -37,35 +45,52 @@ Status DistributeInput(const DatasetRef& input, const PartitionMap& grid,
     grid.PartitionsOf(*r, &parts);
     for (uint32_t p : parts) (*files)[p].writer->Append(*r);
   }
+  // Finish every writer even when one fails (abandoning the rest), so no
+  // open writer outlives this function on the error path.
+  Status status;
   for (PartitionFile& f : *files) {
     const PageId first = f.writer->first_page();
-    SJ_ASSIGN_OR_RETURN(uint64_t n, f.writer->Finish());
-    f.range = StreamRange{f.pager.get(), first, n};
+    if (status.ok()) {
+      Result<uint64_t> n = f.writer->Finish();
+      if (n.ok()) {
+        f.range = StreamRange{f.pager.get(), first, *n};
+      } else {
+        status = n.status();
+      }
+    } else {
+      f.writer->Abandon();
+    }
     f.writer.reset();
   }
-  return Status::OK();
+  return status;
 }
 
-Result<std::vector<PartitionFile>> MakePartitionFiles(DiskModel* disk,
+Result<std::vector<PartitionFile>> MakePartitionFiles(StorageFactory* storage,
+                                                      DiskModel* disk,
                                                       const char* side,
                                                       uint32_t p,
                                                       uint32_t block_pages) {
   std::vector<PartitionFile> files(p);
   for (uint32_t i = 0; i < p; ++i) {
-    files[i].pager =
-        MakeMemoryPager(disk, std::string("pbsm.") + side + "." +
-                                  std::to_string(i));
+    Result<std::unique_ptr<Pager>> pager =
+        MakePager(storage, disk,
+                  std::string("pbsm.") + side + "." + std::to_string(i));
+    if (!pager.ok()) {
+      AbandonAll(&files);  // Writers already opened for earlier partitions.
+      return pager.status();
+    }
+    files[i].pager = std::move(pager).value();
     files[i].writer = std::make_unique<StreamWriter<RectF>>(
         files[i].pager.get(), block_pages);
   }
   return files;
 }
 
-Result<std::vector<RectF>> ReadAll(const StreamRange& range) {
+Result<std::vector<RectF>> Drain(PrefetchingStreamReader<RectF>* reader,
+                                 uint64_t count) {
   std::vector<RectF> out;
-  out.reserve(range.count);
-  StreamReader<RectF> reader(range.pager, range.first_page, range.count);
-  while (std::optional<RectF> r = reader.Next()) out.push_back(*r);
+  out.reserve(count);
+  while (std::optional<RectF> r = reader->Next()) out.push_back(*r);
   return out;
 }
 
@@ -162,13 +187,24 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
       writer_grant.bytes() / (size_t{2} * p * kPageSize), 1,
       grid.writer_block_pages()));
   writer_grant.NoteUsage(size_t{2} * p * writer_block_pages * kPageSize);
+  StorageFactory* storage = options.storage.get();
   SJ_ASSIGN_OR_RETURN(
       std::vector<PartitionFile> files_a,
-      MakePartitionFiles(disk, "a", p, writer_block_pages));
-  SJ_ASSIGN_OR_RETURN(
-      std::vector<PartitionFile> files_b,
-      MakePartitionFiles(disk, "b", p, writer_block_pages));
-  SJ_RETURN_IF_ERROR(DistributeInput(a, grid, &files_a));
+      MakePartitionFiles(storage, disk, "a", p, writer_block_pages));
+  Result<std::vector<PartitionFile>> made_b =
+      MakePartitionFiles(storage, disk, "b", p, writer_block_pages);
+  if (!made_b.ok()) {
+    AbandonAll(&files_a);
+    return made_b.status();
+  }
+  std::vector<PartitionFile> files_b = std::move(made_b).value();
+  {
+    const Status da = DistributeInput(a, grid, &files_a);
+    if (!da.ok()) {
+      AbandonAll(&files_b);  // DistributeInput settled only side a.
+      return da;
+    }
+  }
   SJ_RETURN_IF_ERROR(DistributeInput(b, grid, &files_b));
   writer_grant.Release();
 
@@ -187,6 +223,10 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
     std::unique_ptr<MemoryArbiter> memory;
     std::unique_ptr<Pager> pager_a, pager_b;
     StreamRange range_a, range_b;
+    /// Partition-load readers. Normally created by the task itself; in
+    /// serial prefetch mode the *previous* task creates them early so the
+    /// next pair's stream fetches while the current pair sorts and sweeps.
+    std::unique_ptr<PrefetchingStreamReader<RectF>> reader_a, reader_b;
     CollectingSink sink;
     uint64_t output = 0;
     size_t max_sweep_bytes = 0;
@@ -199,6 +239,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   // (in the same partition order the pooled merge below replays them),
   // so serial runs keep O(1) result buffering.
   const bool pooled = options.num_threads > 1 && p > 1;
+  const PrefetchContext prefetch = PrefetchContextOf(options);
   std::vector<PartitionTask> tasks(p);
   // The per-task budget is the partition-phase budget the planner sized
   // partitions for (the raw knob, not the query-floor-clamped budget):
@@ -219,6 +260,16 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
                             files_b[i].range.count};
   }
 
+  // Opens both partition-load readers of one task. With prefetch on,
+  // construction immediately begins fetching each stream's first block in
+  // the background.
+  auto open_readers = [&](PartitionTask& t) {
+    t.reader_a = std::make_unique<PrefetchingStreamReader<RectF>>(
+        t.range_a.pager, t.range_a.first_page, t.range_a.count, prefetch);
+    t.reader_b = std::make_unique<PrefetchingStreamReader<RectF>>(
+        t.range_b.pager, t.range_b.first_page, t.range_b.count, prefetch);
+  };
+
   SJ_RETURN_IF_ERROR(ParallelFor(
       options.worker_pool, options.num_threads, p, [&](uint64_t i) -> Status {
         PartitionTask& t = tasks[i];
@@ -236,9 +287,24 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
         // signal (previously an ad-hoc comparison against the raw knob).
         Result<MemoryGrant> load =
             t.memory->Acquire(grants::kPbsmPartition, t.part_bytes);
+        if (load.ok() && t.reader_a == nullptr) open_readers(t);
+        // Serial handoff: tasks run inline in partition order, so opening
+        // the next pair's readers now lets its streams fetch while this
+        // pair sorts and sweeps. Charges still happen at consumption, on
+        // the next task's private shard, so modeled I/O is unchanged. (A
+        // reader pair abandoned by an overflowing next task just cancels
+        // its fetch — no charges were made.)
+        if (!pooled && prefetch.enabled && i + 1 < p &&
+            tasks[i + 1].reader_a == nullptr) {
+          open_readers(tasks[i + 1]);
+        }
         if (load.ok()) {
-          SJ_ASSIGN_OR_RETURN(std::vector<RectF> ra, ReadAll(t.range_a));
-          SJ_ASSIGN_OR_RETURN(std::vector<RectF> rb, ReadAll(t.range_b));
+          SJ_ASSIGN_OR_RETURN(std::vector<RectF> ra,
+                              Drain(t.reader_a.get(), t.range_a.count));
+          SJ_ASSIGN_OR_RETURN(std::vector<RectF> rb,
+                              Drain(t.reader_b.get(), t.range_b.count));
+          t.reader_a.reset();
+          t.reader_b.reset();
           std::sort(ra.begin(), ra.end(), OrderByYLo());
           std::sort(rb.begin(), rb.end(), OrderByYLo());
           VectorRectSource sa(&ra), sb(&rb);
@@ -251,23 +317,31 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
         } else {
           // Overflow fallback: external sort this partition and sweep the
           // sorted streams (grant-governed through the task's arbiter).
+          // Readers the previous task opened ahead are cancelled unread —
+          // they made no charges, so modeled I/O matches the serial path.
           t.overflowed = true;
-          auto scratch = MakeMemoryPager(t.disk.get(),
-                                         "pbsm.overflow." + std::to_string(i));
+          t.reader_a.reset();
+          t.reader_b.reset();
+          SJ_ASSIGN_OR_RETURN(
+              std::unique_ptr<Pager> scratch,
+              MakePager(options.storage.get(), t.disk.get(),
+                        "pbsm.overflow." + std::to_string(i)));
           SJ_ASSIGN_OR_RETURN(
               StreamRange sa_range,
               SortRectsByYLo(t.range_a, scratch.get(), scratch.get(),
-                             options.memory_bytes / 2, t.memory.get()));
+                             options.memory_bytes / 2, t.memory.get(),
+                             prefetch));
           SJ_ASSIGN_OR_RETURN(
               StreamRange sb_range,
               SortRectsByYLo(t.range_b, scratch.get(), scratch.get(),
-                             options.memory_bytes / 2, t.memory.get()));
+                             options.memory_bytes / 2, t.memory.get(),
+                             prefetch));
           MemoryGrant sweep_grant = t.memory->AcquireShrinkable(
               grants::kSweep, t.part_bytes, /*floor_bytes=*/0);
-          StreamReader<RectF> reader_a(sa_range.pager, sa_range.first_page,
-                                       sa_range.count);
-          StreamReader<RectF> reader_b(sb_range.pager, sb_range.first_page,
-                                       sb_range.count);
+          PrefetchingStreamReader<RectF> reader_a(
+              sa_range.pager, sa_range.first_page, sa_range.count, prefetch);
+          PrefetchingStreamReader<RectF> reader_b(
+              sb_range.pager, sb_range.first_page, sb_range.count, prefetch);
           sweep_stats = SweepJoinWithKind(options.partition_sweep, extent,
                                           options.striped_strips, reader_a,
                                           reader_b, emit);

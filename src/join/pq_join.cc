@@ -79,12 +79,15 @@ Result<JoinStats> PQJoinIndexStream(const RTree& a, const DatasetRef& b,
                                     MemoryArbiter* arbiter) {
   const ArbiterScope scope(arbiter, options);
   // Sort the non-indexed side (charged), as SSSJ would.
-  auto scratch = MakeMemoryPager(disk, "pq.sort.runs");
-  auto sorted = MakeMemoryPager(disk, "pq.sort.out");
+  SJ_ASSIGN_OR_RETURN(auto scratch,
+                      MakePager(options.storage.get(), disk, "pq.sort.runs"));
+  SJ_ASSIGN_OR_RETURN(auto sorted,
+                      MakePager(options.storage.get(), disk, "pq.sort.out"));
   SJ_ASSIGN_OR_RETURN(
       StreamRange sorted_b,
       SortRectsByYLo(b.range, scratch.get(), sorted.get(),
-                     options.memory_bytes / 2, scope.get()));
+                     options.memory_bytes / 2, scope.get(),
+                     PrefetchContextOf(options)));
   RTreePQSource source_a(&a);
   SortedStreamSource source_b(sorted_b);
   SJ_ASSIGN_OR_RETURN(RectF extent_b, EnsureExtent(b));

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "io/prefetch.h"
 #include "join/strip_map.h"
 #include "sort/external_sort.h"
 #include "sweep/sweep_join.h"
@@ -12,15 +13,15 @@
 namespace sj {
 namespace {
 
-/// Adapter: StreamReader as a sweep source.
+/// Adapter: a (prefetching) stream reader as a sweep source.
 class StreamSource {
  public:
-  StreamSource(const StreamRange& range)  // NOLINT(runtime/explicit)
-      : reader_(range.pager, range.first_page, range.count) {}
+  StreamSource(const StreamRange& range, const PrefetchContext& prefetch)
+      : reader_(range.pager, range.first_page, range.count, prefetch) {}
   std::optional<RectF> Next() { return reader_.Next(); }
 
  private:
-  StreamReader<RectF> reader_;
+  PrefetchingStreamReader<RectF> reader_;
 };
 
 }  // namespace
@@ -64,11 +65,13 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
 
   JoinMeasurement measurement(disk);
   SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
+  StorageFactory* storage = options.storage.get();
+  const PrefetchContext prefetch = PrefetchContextOf(options);
 
   // Per-input scratch devices for runs and sorted output, mirroring the
   // paper's TPIE temporary streams.
-  auto runs_a = MakeMemoryPager(disk, "sssj.runs.a");
-  auto runs_b = MakeMemoryPager(disk, "sssj.runs.b");
+  SJ_ASSIGN_OR_RETURN(auto runs_a, MakePager(storage, disk, "sssj.runs.a"));
+  SJ_ASSIGN_OR_RETURN(auto runs_b, MakePager(storage, disk, "sssj.runs.b"));
 
   SweepRunStats sweep_stats;
   auto emit = [sink](const RectF& ra, const RectF& rb) {
@@ -84,9 +87,11 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
     std::vector<StreamRange> ra, rb;
     {
       ExternalSorter<RectF, OrderByYLo> sorter_a(half, runs_a.get(),
-                                                 OrderByYLo(), scope.get());
+                                                 OrderByYLo(), scope.get(),
+                                                 prefetch);
       ExternalSorter<RectF, OrderByYLo> sorter_b(half, runs_b.get(),
-                                                 OrderByYLo(), scope.get());
+                                                 OrderByYLo(), scope.get(),
+                                                 prefetch);
       SJ_RETURN_IF_ERROR(sorter_a.FormRuns(a.range, &ra));
       SJ_RETURN_IF_ERROR(sorter_b.FormRuns(b.range, &rb));
       SJ_CHECK(ra.size() <= sorter_a.MaxFanIn() &&
@@ -96,27 +101,31 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
     MemoryGrant sweep_grant = scope->AcquireShrinkable(
         grants::kSweep, est_sweep_bytes, /*floor_bytes=*/0);
     MergingReader<RectF, OrderByYLo> source_a(std::move(ra),
-                                              /*block_pages=*/8);
+                                              /*block_pages=*/8, OrderByYLo(),
+                                              prefetch);
     MergingReader<RectF, OrderByYLo> source_b(std::move(rb),
-                                              /*block_pages=*/8);
+                                              /*block_pages=*/8, OrderByYLo(),
+                                              prefetch);
     sweep_stats =
         SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips,
                           source_a, source_b, emit);
     sweep_grant.NoteUsage(sweep_stats.max_structure_bytes);
   } else {
-    auto sorted_a = MakeMemoryPager(disk, "sssj.sorted.a");
-    auto sorted_b = MakeMemoryPager(disk, "sssj.sorted.b");
+    SJ_ASSIGN_OR_RETURN(auto sorted_a,
+                        MakePager(storage, disk, "sssj.sorted.a"));
+    SJ_ASSIGN_OR_RETURN(auto sorted_b,
+                        MakePager(storage, disk, "sssj.sorted.b"));
     SJ_ASSIGN_OR_RETURN(
         StreamRange sa,
         SortRectsByYLo(a.range, runs_a.get(), sorted_a.get(),
-                       options.memory_bytes / 2, scope.get()));
+                       options.memory_bytes / 2, scope.get(), prefetch));
     SJ_ASSIGN_OR_RETURN(
         StreamRange sb,
         SortRectsByYLo(b.range, runs_b.get(), sorted_b.get(),
-                       options.memory_bytes / 2, scope.get()));
+                       options.memory_bytes / 2, scope.get(), prefetch));
     MemoryGrant sweep_grant = scope->AcquireShrinkable(
         grants::kSweep, est_sweep_bytes, /*floor_bytes=*/0);
-    StreamSource source_a(sa), source_b(sb);
+    StreamSource source_a(sa, prefetch), source_b(sb, prefetch);
     sweep_stats =
         SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips,
                           source_a, source_b, emit);
@@ -138,6 +147,14 @@ struct StripFile {
   StreamRange range;
 };
 
+/// Error-path unwinding: declares every still-open strip writer dead so
+/// their destructors do not abort when a sibling operation failed.
+void AbandonAll(std::vector<StripFile>* files) {
+  for (StripFile& f : *files) {
+    if (f.writer != nullptr) f.writer->Abandon();
+  }
+}
+
 Status DistributeToStrips(const DatasetRef& input, const StripMap& map,
                           std::vector<StripFile>* files) {
   StreamReader<RectF> reader(input.range.pager, input.range.first_page,
@@ -147,13 +164,20 @@ Status DistributeToStrips(const DatasetRef& input, const StripMap& map,
     const uint32_t s1 = map.StripOf(r->xhi);
     for (uint32_t s = s0; s <= s1; ++s) (*files)[s].writer->Append(*r);
   }
+  // Finish every writer even when one fails (Finish marks the stream
+  // finished on error too), then surface the first failure.
+  Status first_error = Status::OK();
   for (StripFile& f : *files) {
     const PageId first = f.writer->first_page();
-    SJ_ASSIGN_OR_RETURN(uint64_t n, f.writer->Finish());
-    f.range = StreamRange{f.pager.get(), first, n};
+    Result<uint64_t> n = f.writer->Finish();
+    if (n.ok()) {
+      f.range = StreamRange{f.pager.get(), first, n.value()};
+    } else if (first_error.ok()) {
+      first_error = n.status();
+    }
     f.writer.reset();
   }
-  return Status::OK();
+  return first_error;
 }
 
 }  // namespace
@@ -178,20 +202,40 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
       writer_grant.bytes() / (size_t{2} * map.strips() * kPageSize), 1, 4));
   writer_grant.NoteUsage(size_t{2} * map.strips() * writer_block_pages *
                          kPageSize);
-  auto make_files = [disk, writer_block_pages](const char* side, uint32_t k) {
+  StorageFactory* storage = options.storage.get();
+  const PrefetchContext prefetch = PrefetchContextOf(options);
+  auto make_files = [storage, disk, writer_block_pages](
+                        const char* side,
+                        uint32_t k) -> Result<std::vector<StripFile>> {
     std::vector<StripFile> files(k);
     for (uint32_t i = 0; i < k; ++i) {
-      files[i].pager = MakeMemoryPager(
-          disk, std::string("sssj.strip.") + side + "." + std::to_string(i));
+      Result<std::unique_ptr<Pager>> pager = MakePager(
+          storage, disk,
+          std::string("sssj.strip.") + side + "." + std::to_string(i));
+      if (!pager.ok()) {
+        AbandonAll(&files);  // Strips 0..i-1 hold open writers.
+        return pager.status();
+      }
+      files[i].pager = std::move(pager).value();
       files[i].writer =
           std::make_unique<StreamWriter<RectF>>(files[i].pager.get(),
                                                 writer_block_pages);
     }
     return files;
   };
-  std::vector<StripFile> files_a = make_files("a", map.strips());
-  std::vector<StripFile> files_b = make_files("b", map.strips());
-  SJ_RETURN_IF_ERROR(DistributeToStrips(a, map, &files_a));
+  SJ_ASSIGN_OR_RETURN(std::vector<StripFile> files_a,
+                      make_files("a", map.strips()));
+  Result<std::vector<StripFile>> files_b_or = make_files("b", map.strips());
+  if (!files_b_or.ok()) {
+    AbandonAll(&files_a);
+    return files_b_or.status();
+  }
+  std::vector<StripFile> files_b = std::move(files_b_or).value();
+  Status distribute_a = DistributeToStrips(a, map, &files_a);
+  if (!distribute_a.ok()) {
+    AbandonAll(&files_b);
+    return distribute_a;
+  }
   SJ_RETURN_IF_ERROR(DistributeToStrips(b, map, &files_b));
   writer_grant.Release();
 
@@ -233,22 +277,30 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
         StripTask& t = tasks[s];
         ThreadCpuTimer cpu;
         JoinSink* out = pooled ? static_cast<JoinSink*>(&t.sink) : sink;
-        auto scratch = MakeMemoryPager(t.disk.get(), "sssj.strip.scratch");
-        auto sorted = MakeMemoryPager(t.disk.get(), "sssj.strip.sorted");
+        SJ_ASSIGN_OR_RETURN(
+            auto scratch,
+            MakePager(storage, t.disk.get(), "sssj.strip.scratch"));
+        SJ_ASSIGN_OR_RETURN(
+            auto sorted,
+            MakePager(storage, t.disk.get(), "sssj.strip.sorted"));
         SJ_ASSIGN_OR_RETURN(
             StreamRange sa,
             SortRectsByYLo(t.range_a, scratch.get(), sorted.get(),
-                           options.memory_bytes / 2, t.memory.get()));
+                           options.memory_bytes / 2, t.memory.get(),
+                           prefetch));
         SJ_ASSIGN_OR_RETURN(
             StreamRange sb,
             SortRectsByYLo(t.range_b, scratch.get(), sorted.get(),
-                           options.memory_bytes / 2, t.memory.get()));
+                           options.memory_bytes / 2, t.memory.get(),
+                           prefetch));
         MemoryGrant sweep_grant = t.memory->AcquireShrinkable(
             grants::kSweep,
             EstimateSweepBytes(t.range_a.count + t.range_b.count),
             /*floor_bytes=*/0);
-        StreamReader<RectF> reader_a(sa.pager, sa.first_page, sa.count);
-        StreamReader<RectF> reader_b(sb.pager, sb.first_page, sb.count);
+        PrefetchingStreamReader<RectF> reader_a(sa.pager, sa.first_page,
+                                                sa.count, prefetch);
+        PrefetchingStreamReader<RectF> reader_b(sb.pager, sb.first_page,
+                                                sb.count, prefetch);
         auto emit = [&](const RectF& ra, const RectF& rb) {
           // Report only in the strip owning the overlap's left edge.
           if (map.StripOf(std::max(ra.xlo, rb.xlo)) == s) {

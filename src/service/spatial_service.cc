@@ -458,6 +458,9 @@ void SpatialService::Execute(const std::shared_ptr<Ticket>& ticket) {
       o.shared_buffer_pool = buffer_pool_.get();
       o.buffer_pool_client = ticket->pool_client;
     }
+    // The service's storage backend is the default; a query that chose
+    // its own keeps it.
+    if (o.storage == nullptr) o.storage = options_.storage;
     return query.RunDirect(ticket->sink);
   }();
 

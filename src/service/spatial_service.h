@@ -62,6 +62,11 @@ struct ServiceOptions {
   /// identical). Clamped up to kMinMemoryBytes. 0 disables degraded
   /// admission.
   size_t degraded_min_bytes = 4u << 20;
+  /// Default storage backend for admitted queries' scratch/spill files
+  /// (null = in-memory). A query's own JoinOptions::storage, when set,
+  /// wins over this. Implementations must be thread-safe — concurrent
+  /// queries create files through one factory.
+  std::shared_ptr<StorageFactory> storage;
 };
 
 /// Per-submission knobs.

@@ -47,9 +47,12 @@ class ExternalPriorityQueue {
   /// `memory_bytes` bounds the in-memory heap; each spilled run adds one
   /// small streaming buffer on top. With an arbiter, the budget is
   /// acquired as a tracked "pq.queue" grant (shrunk to what is left).
+  /// With `prefetch` enabled, each spill cursor double-buffers (its next
+  /// block fetches in the background while the current one drains).
   ExternalPriorityQueue(size_t memory_bytes, Pager* spill, Less less = Less(),
-                        MemoryArbiter* arbiter = nullptr)
-      : less_(less), spill_(spill) {
+                        MemoryArbiter* arbiter = nullptr,
+                        const PrefetchContext& prefetch = PrefetchContext())
+      : less_(less), spill_(spill), prefetch_(prefetch) {
     if (arbiter != nullptr) {
       grant_ = arbiter->AcquireShrinkable(grants::kPqQueue, memory_bytes,
                                           kMinHeapRecords * sizeof(T));
@@ -117,7 +120,7 @@ class ExternalPriorityQueue {
     bool operator()(const T& a, const T& b) const { return less(b, a); }
   };
   struct RunCursor {
-    std::unique_ptr<StreamReader<T>> reader;
+    std::unique_ptr<PrefetchingStreamReader<T>> reader;
     std::optional<T> head;
   };
 
@@ -159,8 +162,8 @@ class ExternalPriorityQueue {
     std::make_heap(heap_.begin(), heap_.end(), HeapGreater{less_});
 
     RunCursor cursor;
-    cursor.reader = std::make_unique<StreamReader<T>>(spill_, first, n.value(),
-                                                      run_block_pages_);
+    cursor.reader = std::make_unique<PrefetchingStreamReader<T>>(
+        spill_, first, n.value(), prefetch_, run_block_pages_);
     cursor.head = cursor.reader->Next();
     SJ_CHECK(cursor.head.has_value());
     cursors_.push_back(std::move(cursor));
@@ -169,6 +172,7 @@ class ExternalPriorityQueue {
 
   Less less_;
   Pager* spill_;
+  PrefetchContext prefetch_;
   size_t heap_capacity_ = kMinHeapRecords;
   uint32_t run_block_pages_ = 1;
   std::vector<T> heap_;

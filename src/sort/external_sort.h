@@ -10,6 +10,7 @@
 #include "core/memory_arbiter.h"
 #include "geometry/rect.h"
 #include "io/pager.h"
+#include "io/prefetch.h"
 #include "io/stream.h"
 #include "sort/run_layout.h"
 #include "util/logging.h"
@@ -48,9 +49,13 @@ class ExternalSorter {
   /// sizing arithmetic). When `arbiter` is given, the sorter acquires its
   /// budget as a tracked grant — shrunk to what the arbiter has left —
   /// and reports its run-buffer usage against it.
+  /// With `prefetch` enabled, the merge phase double-buffers every run
+  /// reader (block N+1 fetches in the background while block N drains);
+  /// results and modeled I/O are identical either way.
   ExternalSorter(size_t memory_bytes, Pager* scratch, Less less = Less(),
-                 MemoryArbiter* arbiter = nullptr)
-      : scratch_(scratch), less_(less) {
+                 MemoryArbiter* arbiter = nullptr,
+                 const PrefetchContext& prefetch = PrefetchContext())
+      : scratch_(scratch), less_(less), prefetch_(prefetch) {
     if (arbiter != nullptr) {
       grant_ = arbiter->AcquireShrinkable(grants::kSortRuns, memory_bytes,
                                           RunLayout::kMinSortMemoryBytes);
@@ -138,13 +143,15 @@ class ExternalSorter {
     auto heap_greater = [this](const HeapItem& a, const HeapItem& b) {
       return less_(b.value, a.value);  // Min-heap.
     };
-    std::vector<std::unique_ptr<StreamReader<T>>> readers;
+    std::vector<std::unique_ptr<PrefetchingStreamReader<T>>> readers;
     readers.reserve(runs.size());
     std::vector<HeapItem> heap;
-    grant_.NoteUsage((runs.size() + 1) * layout_.block_pages * kPageSize);
+    // Prefetch double-buffers every run reader.
+    grant_.NoteUsage((runs.size() * (prefetch_.enabled ? 2 : 1) + 1) *
+                     layout_.block_pages * kPageSize);
     for (size_t i = 0; i < runs.size(); ++i) {
-      readers.push_back(std::make_unique<StreamReader<T>>(
-          runs[i].pager, runs[i].first_page, runs[i].count,
+      readers.push_back(std::make_unique<PrefetchingStreamReader<T>>(
+          runs[i].pager, runs[i].first_page, runs[i].count, prefetch_,
           layout_.block_pages));
       std::optional<T> head = readers[i]->Next();
       if (head.has_value()) heap.push_back(HeapItem{*head, i});
@@ -179,6 +186,7 @@ class ExternalSorter {
 
   Pager* scratch_;
   Less less_;
+  PrefetchContext prefetch_;
   RunLayout layout_;
   MemoryGrant grant_;
 };
@@ -193,12 +201,14 @@ template <typename T, typename Less>
 class MergingReader {
  public:
   MergingReader(std::vector<StreamRange> runs, uint32_t block_pages,
-                Less less = Less())
+                Less less = Less(),
+                const PrefetchContext& prefetch = PrefetchContext())
       : less_(less) {
     readers_.reserve(runs.size());
     for (size_t i = 0; i < runs.size(); ++i) {
-      readers_.push_back(std::make_unique<StreamReader<T>>(
-          runs[i].pager, runs[i].first_page, runs[i].count, block_pages));
+      readers_.push_back(std::make_unique<PrefetchingStreamReader<T>>(
+          runs[i].pager, runs[i].first_page, runs[i].count, prefetch,
+          block_pages));
       std::optional<T> head = readers_[i]->Next();
       if (head.has_value()) heap_.push_back(HeapItem{*head, i});
     }
@@ -231,18 +241,18 @@ class MergingReader {
   };
 
   Less less_;
-  std::vector<std::unique_ptr<StreamReader<T>>> readers_;
+  std::vector<std::unique_ptr<PrefetchingStreamReader<T>>> readers_;
   std::vector<HeapItem> heap_;
 };
 
 /// Convenience: sorts RectF records by lower y coordinate (the sweep
 /// order). With an arbiter, the sort memory is a tracked grant.
-inline Result<StreamRange> SortRectsByYLo(const StreamRange& input,
-                                          Pager* scratch, Pager* output,
-                                          size_t memory_bytes,
-                                          MemoryArbiter* arbiter = nullptr) {
+inline Result<StreamRange> SortRectsByYLo(
+    const StreamRange& input, Pager* scratch, Pager* output,
+    size_t memory_bytes, MemoryArbiter* arbiter = nullptr,
+    const PrefetchContext& prefetch = PrefetchContext()) {
   ExternalSorter<RectF, OrderByYLo> sorter(memory_bytes, scratch,
-                                           OrderByYLo(), arbiter);
+                                           OrderByYLo(), arbiter, prefetch);
   return sorter.Sort(input, output);
 }
 

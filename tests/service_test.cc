@@ -469,11 +469,13 @@ TEST_F(ContendedServiceTest, CancelOnHandleOutlivingServiceIsSafe) {
   SubmittedQuery queued;
   CollectingSink sink;
   {
+    // The blocker must outlive the service: its destructor's drain runs
+    // the held query to completion, emitting into the blocker.
+    BlockingSink blocker;
     ServiceOptions so;
     so.global_memory_bytes = 8u << 20;
     so.worker_threads = 1;
     SpatialService service(so);
-    BlockingSink blocker;
     SubmittedQuery holder = service.Submit(MakeQuery(8u << 20), &blocker);
     blocker.WaitEntered();
     SubmitOptions no_degrade;
