@@ -132,6 +132,50 @@ class CostModel {
     return touched_fraction < IndexBreakEvenFraction();
   }
 
+  // Per-operator terms for pipeline plans (src/op/, PipelineQuery): each
+  // prices one physical operator so Explain() can annotate the whole
+  // operator tree with the same arithmetic the join terms use.
+
+  /// Modeled seconds for one sequential pass over `pages` — a stream-side
+  /// WindowScan or a RectResolver's in-memory load.
+  double ScanSeconds(uint64_t pages) const {
+    return HistogramPassSeconds(pages);
+  }
+
+  /// Modeled seconds for an index-side window query expected to touch
+  /// `touched_fraction` of an `index_pages`-page tree: every touched node
+  /// is a random single-page read, like a PQ traversal of that fraction.
+  double IndexWindowSeconds(uint64_t index_pages,
+                            double touched_fraction) const {
+    const double f = std::min(1.0, std::max(0.0, touched_fraction));
+    return PQSeconds(static_cast<uint64_t>(
+        static_cast<double>(index_pages) * f + 0.5));
+  }
+
+  /// Modeled seconds for an aggregation grid that spills: `spill_pages`
+  /// of (cell, delta) records written once (streamed) and replayed once
+  /// per non-resident band.
+  double AggregateSpillSeconds(uint64_t spill_pages, uint64_t bands) const {
+    const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
+    return static_cast<double>(spill_pages) *
+           (machine_.write_factor + static_cast<double>(bands)) * seq;
+  }
+
+  /// Modeled seconds for resolving `lookups` join-output ids against a
+  /// relation of `pages` MBR pages through an external rect map: the
+  /// id-sort build (one streamed read/write pass over the relation) plus
+  /// the batched lookups — random single-page reads, bounded by one page
+  /// per lookup and by the table size per batch, like RefineSeconds. The
+  /// in-memory path costs only the build scan (price with ScanSeconds).
+  double RectResolveSeconds(uint64_t lookups, uint64_t pages) const {
+    const double seq = machine_.PageTransferMs(kPageSize) * 1e-3;
+    const double rand =
+        (machine_.avg_access_ms + machine_.PageTransferMs(kPageSize)) * 1e-3;
+    const double build = static_cast<double>(pages) *
+                         (1.0 + machine_.write_factor) * seq;
+    return build + static_cast<double>(std::min(lookups, pages)) * rand;
+  }
+
   const MachineModel& machine() const { return machine_; }
 
  private:

@@ -142,6 +142,9 @@ class JoinQuery {
 
  private:
   friend class SpatialService;
+  /// PipelineQuery feeds its operator chain from RunDirect (the join is
+  /// the pipeline's source, executing under the pipeline's arbiter).
+  friend class PipelineQuery;
 
   /// The pairwise execution body (compile + executor dispatch +
   /// refinement), shared by the Run() wrapper and the service's workers.

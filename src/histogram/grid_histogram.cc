@@ -85,9 +85,13 @@ void GridHistogram::ScaleTo(uint64_t target_total) {
 void GridHistogram::CellRange(const RectF& r, uint32_t* x0, uint32_t* x1,
                               uint32_t* y0, uint32_t* y1) const {
   auto clamp_cell = [](float v, float lo, float w, uint32_t n) -> uint32_t {
+    // Clamp in float space before the integer cast: casting a float that
+    // exceeds uint32_t's range (far-away or infinite coordinates) is
+    // undefined behaviour, not a saturation. NaN fails the > 0 test and
+    // lands in cell 0 like any other out-of-range-low value.
     const float rel = (v - lo) / w;
     if (!(rel > 0.0f)) return 0;
-    return std::min(static_cast<uint32_t>(rel), n - 1);
+    return static_cast<uint32_t>(std::min(rel, static_cast<float>(n - 1)));
   };
   *x0 = clamp_cell(r.xlo, extent_.xlo, cell_w_, nx_);
   *x1 = clamp_cell(r.xhi, extent_.xlo, cell_w_, nx_);
@@ -120,7 +124,12 @@ bool GridHistogram::MightIntersect(const RectF& r) const {
 }
 
 double GridHistogram::EstimateCountIn(const RectF& r) const {
+  // Invalid (inverted / NaN) and fully-outside rectangles contribute no
+  // mass; neither do degenerate (zero-area) ones — the estimator is a
+  // fractional-area model, and a zero-measure query must come out as an
+  // exact 0 rather than a NaN from 0-times-infinity corner cases.
   if (total_ == 0 || !r.Valid() || !r.Intersects(extent_)) return 0.0;
+  if (!(r.Area() > 0.0)) return 0.0;
   uint32_t x0, x1, y0, y1;
   CellRange(r, &x0, &x1, &y0, &y1);
   const double cell_area =

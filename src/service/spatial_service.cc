@@ -34,11 +34,18 @@ struct SubmittedQuery::Ticket {
   Ticket(std::shared_ptr<ServiceGate> gate_in, const JoinQuery& query_in,
          JoinSink* sink_in)
       : gate(std::move(gate_in)), query(query_in), sink(sink_in) {}
+  Ticket(std::shared_ptr<ServiceGate> gate_in,
+         const PipelineQuery& pipeline_in, RowSink* sink_in)
+      : gate(std::move(gate_in)), pipeline(pipeline_in), row_sink(sink_in) {}
 
   std::shared_ptr<ServiceGate> gate;
   uint64_t id = 0;
-  JoinQuery query;  // Private copy; referenced inputs must outlive us.
-  JoinSink* sink;
+  /// Exactly one of these is set — the ticket's kind. Private copies;
+  /// referenced inputs must outlive the submission.
+  std::optional<JoinQuery> query;
+  std::optional<PipelineQuery> pipeline;
+  JoinSink* sink = nullptr;
+  RowSink* row_sink = nullptr;
   // Immutable once the ticket is published (set in Submit before the
   // ticket reaches the queue or a handle).
   size_t requested_bytes = 0;
@@ -60,18 +67,38 @@ struct SubmittedQuery::Ticket {
   uint32_t pool_client = 0;
   std::shared_ptr<MemoryArbiter> arbiter;  // Carved child; reset when done.
   std::optional<sj::Result<JoinStats>> result;
+  std::optional<sj::Result<PipelineStats>> pipeline_result;
+
+  bool is_pipeline() const { return pipeline.has_value(); }
 
   /// Caller must hold `mu`.
-  void FinishLocked(sj::Result<JoinStats> r) {
+  void DoneLocked() {
     // Single-finisher invariant: Cancel/expiry only resolve kQueued
     // tickets, Execute only finishes the kRunning ticket it admitted —
-    // so `result` is emplaced exactly once and references returned by
+    // so the result is emplaced exactly once and references returned by
     // Result() stay valid.
     SJ_CHECK(state != State::kDone) << "double finish on query ticket";
-    result.emplace(std::move(r));
     state = State::kDone;
     arbiter.reset();
     cv.notify_all();
+  }
+  void FinishLocked(sj::Result<JoinStats> r) {
+    result.emplace(std::move(r));
+    DoneLocked();
+  }
+  void FinishPipelineLocked(sj::Result<PipelineStats> r) {
+    pipeline_result.emplace(std::move(r));
+    DoneLocked();
+  }
+  /// The kind-agnostic error path (rejection, cancel, deadline,
+  /// shutdown): routes the Status to whichever result slot this ticket
+  /// reports through.
+  void FinishErrorLocked(Status s) {
+    if (is_pipeline()) {
+      FinishPipelineLocked(std::move(s));
+    } else {
+      FinishLocked(std::move(s));
+    }
   }
 };
 
@@ -94,26 +121,28 @@ void SubmittedQuery::Wait() const {
                    [this] { return ticket_->state == Ticket::State::kDone; });
 }
 
-bool SubmittedQuery::Cancel() {
-  if (ticket_ == nullptr) return false;
+/// The handle-side cancel shared by SubmittedQuery and SubmittedPipeline:
+/// resolve a still-queued ticket with Cancelled, then notify the
+/// scheduler through the gate so the queue slot frees immediately and, if
+/// this was the head, the queries behind it get an admission pass now
+/// rather than at the next submit/completion. The gate pins the service:
+/// once its destructor nulls the pointer, the destructor's drain has
+/// already folded this ticket's cancel into the counters.
+bool SpatialService::CancelTicket(const std::shared_ptr<Ticket>& ticket) {
+  if (ticket == nullptr) return false;
   {
-    std::lock_guard<std::mutex> lock(ticket_->mu);
-    if (ticket_->state != Ticket::State::kQueued) return false;
-    ticket_->cancelled_by_handle = true;
-    ticket_->FinishLocked(Status::Cancelled(
-        "query #" + std::to_string(ticket_->id) +
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    if (ticket->state != Ticket::State::kQueued) return false;
+    ticket->cancelled_by_handle = true;
+    ticket->FinishErrorLocked(Status::Cancelled(
+        "query #" + std::to_string(ticket->id) +
         " cancelled while queued for admission"));
   }
-  // Tell the scheduler so the queue slot frees immediately and, if this
-  // was the head, the queries behind it get an admission pass now rather
-  // than at the next submit/completion. The gate pins the service: once
-  // its destructor nulls the pointer, the destructor's drain has already
-  // folded this ticket's cancel into the counters.
   std::vector<std::shared_ptr<Ticket>> to_dispatch;
   SpatialService* service = nullptr;
   {
-    std::lock_guard<std::mutex> gate_lock(ticket_->gate->mu);
-    service = ticket_->gate->service;
+    std::lock_guard<std::mutex> gate_lock(ticket->gate->mu);
+    service = ticket->gate->service;
     if (service != nullptr) to_dispatch = service->ReapAfterHandleCancel();
   }
   // Safe outside the gate: each dispatched ticket is already counted in
@@ -121,6 +150,8 @@ bool SubmittedQuery::Cancel() {
   if (!to_dispatch.empty()) service->Dispatch(std::move(to_dispatch));
   return true;
 }
+
+bool SubmittedQuery::Cancel() { return SpatialService::CancelTicket(ticket_); }
 
 const sj::Result<JoinStats>& SubmittedQuery::Result() const {
   SJ_CHECK(ticket_ != nullptr) << "Result() on a default SubmittedQuery";
@@ -142,6 +173,46 @@ bool SubmittedQuery::degraded() const {
 }
 
 uint64_t SubmittedQuery::id() const {
+  return ticket_ == nullptr ? 0 : ticket_->id;
+}
+
+bool SubmittedPipeline::done() const {
+  if (ticket_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->state == Ticket::State::kDone;
+}
+
+void SubmittedPipeline::Wait() const {
+  if (ticket_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(ticket_->mu);
+  ticket_->cv.wait(lock,
+                   [this] { return ticket_->state == Ticket::State::kDone; });
+}
+
+bool SubmittedPipeline::Cancel() {
+  return SpatialService::CancelTicket(ticket_);
+}
+
+const sj::Result<PipelineStats>& SubmittedPipeline::Result() const {
+  SJ_CHECK(ticket_ != nullptr) << "Result() on a default SubmittedPipeline";
+  Wait();
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return *ticket_->pipeline_result;
+}
+
+size_t SubmittedPipeline::granted_bytes() const {
+  if (ticket_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->granted_bytes;
+}
+
+bool SubmittedPipeline::degraded() const {
+  if (ticket_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(ticket_->mu);
+  return ticket_->degraded;
+}
+
+uint64_t SubmittedPipeline::id() const {
   return ticket_ == nullptr ? 0 : ticket_->id;
 }
 
@@ -172,7 +243,7 @@ SpatialService::~SpatialService() {
     for (const std::shared_ptr<Ticket>& t : queue_) {
       std::lock_guard<std::mutex> tl(t->mu);
       if (t->state == Ticket::State::kQueued) {
-        t->FinishLocked(Status::Cancelled(
+        t->FinishErrorLocked(Status::Cancelled(
             "query #" + std::to_string(t->id) +
             " cancelled: the service shut down before admission"));
         counters_.cancelled++;
@@ -199,11 +270,8 @@ SpatialService::~SpatialService() {
   worker_pool_.reset();  // Joins workers before the shared pool dies.
 }
 
-SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
-                                      const SubmitOptions& submit) {
-  auto ticket = std::make_shared<Ticket>(gate_, query, sink);
-  ticket->requested_bytes = query.options().memory_bytes;
-  ticket->strict = query.options().strict_memory_accounting;
+void SpatialService::SubmitTicket(const std::shared_ptr<Ticket>& ticket,
+                                  const SubmitOptions& submit) {
   ticket->allow_degraded =
       submit.allow_degraded && options_.degraded_min_bytes > 0;
   const double deadline_seconds = submit.queue_deadline_seconds >= 0.0
@@ -233,39 +301,39 @@ SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
         // Misuse, not contention: same floor and code path the query layer
         // enforces (see JoinQuery::Compile).
         counters_.rejected++;
-        ticket->FinishLocked(Status::FailedPrecondition(
+        ticket->FinishErrorLocked(Status::FailedPrecondition(
             "memory budget " + std::to_string(ticket->requested_bytes) +
             " B is below the supported floor of " +
             std::to_string(kMinMemoryBytes) +
-            " B (kMinMemoryBytes, 64 KiB); raise JoinQuery::MemoryBytes / "
+            " B (kMinMemoryBytes, 64 KiB); raise the query's MemoryBytes / "
             "JoinOptions::memory_bytes"));
-        return SubmittedQuery(std::move(ticket));
+        return;
       }
       if (ticket->requested_bytes > options_.global_memory_bytes) {
         // Unsatisfiable at any queue position: no amount of waiting frees
         // more than the whole global budget.
         counters_.rejected++;
-        ticket->FinishLocked(Status::ResourceExhausted(
+        ticket->FinishErrorLocked(Status::ResourceExhausted(
             "query asks for " + std::to_string(ticket->requested_bytes) +
             " B but the service's whole global budget is " +
             std::to_string(options_.global_memory_bytes) +
-            " B; lower JoinQuery::MemoryBytes or grow "
+            " B; lower the query's MemoryBytes or grow "
             "ServiceOptions::global_memory_bytes"));
-        return SubmittedQuery(std::move(ticket));
+        return;
       }
       if (shutting_down_) {
         counters_.rejected++;
-        ticket->FinishLocked(
+        ticket->FinishErrorLocked(
             Status::FailedPrecondition("service is shutting down"));
-        return SubmittedQuery(std::move(ticket));
+        return;
       }
       if (queue_.size() >= options_.admission_queue_limit) {
         counters_.rejected++;
-        ticket->FinishLocked(Status::ResourceExhausted(
+        ticket->FinishErrorLocked(Status::ResourceExhausted(
             "admission queue is full (" +
             std::to_string(options_.admission_queue_limit) +
             " queries already waiting)"));
-        return SubmittedQuery(std::move(ticket));
+        return;
       }
     }
     queue_.push_back(ticket);
@@ -277,6 +345,14 @@ SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
     }
   }
   Dispatch(std::move(to_dispatch));
+}
+
+SubmittedQuery SpatialService::Submit(const JoinQuery& query, JoinSink* sink,
+                                      const SubmitOptions& submit) {
+  auto ticket = std::make_shared<Ticket>(gate_, query, sink);
+  ticket->requested_bytes = query.options().memory_bytes;
+  ticket->strict = query.options().strict_memory_accounting;
+  SubmitTicket(ticket, submit);
   return SubmittedQuery(std::move(ticket));
 }
 
@@ -284,6 +360,22 @@ sj::Result<JoinStats> SpatialService::Run(const JoinQuery& query,
                                           JoinSink* sink,
                                           const SubmitOptions& submit) {
   return Submit(query, sink, submit).Result();
+}
+
+SubmittedPipeline SpatialService::Submit(const PipelineQuery& pipeline,
+                                         RowSink* sink,
+                                         const SubmitOptions& submit) {
+  auto ticket = std::make_shared<Ticket>(gate_, pipeline, sink);
+  ticket->requested_bytes = pipeline.options().memory_bytes;
+  ticket->strict = pipeline.options().strict_memory_accounting;
+  SubmitTicket(ticket, submit);
+  return SubmittedPipeline(std::move(ticket));
+}
+
+sj::Result<PipelineStats> SpatialService::Run(const PipelineQuery& pipeline,
+                                              RowSink* sink,
+                                              const SubmitOptions& submit) {
+  return Submit(pipeline, sink, submit).Result();
 }
 
 void SpatialService::ReapLocked(Clock::time_point now) {
@@ -298,7 +390,7 @@ void SpatialService::ReapLocked(Clock::time_point now) {
     }
     if (now >= t->deadline) {
       counters_.deadline_expired++;
-      t->FinishLocked(Status::DeadlineExceeded(
+      t->FinishErrorLocked(Status::DeadlineExceeded(
           "query #" + std::to_string(t->id) +
           " expired after waiting for admission; the global memory "
           "budget stayed occupied past the queue deadline"));
@@ -448,8 +540,7 @@ void SpatialService::Execute(const std::shared_ptr<Ticket>& ticket) {
   // gone before completion bookkeeping — FinishLocked's arbiter reset must
   // be the last reference, or the carved budget would still look occupied
   // when AdmitLocked below re-runs admission.
-  sj::Result<JoinStats> result = [&]() -> sj::Result<JoinStats> {
-    JoinQuery query = ticket->query;
+  auto rewrite = [&](auto& query) {
     query.MemoryBytes(ticket->granted_bytes);
     query.UseArbiter(ticket->arbiter);
     JoinOptions& o = query.mutable_options();
@@ -461,15 +552,30 @@ void SpatialService::Execute(const std::shared_ptr<Ticket>& ticket) {
     // The service's storage backend is the default; a query that chose
     // its own keeps it.
     if (o.storage == nullptr) o.storage = options_.storage;
-    return query.RunDirect(ticket->sink);
-  }();
+  };
+  std::optional<sj::Result<JoinStats>> join_result;
+  std::optional<sj::Result<PipelineStats>> pipeline_result;
+  if (ticket->is_pipeline()) {
+    PipelineQuery query = *ticket->pipeline;
+    rewrite(query);
+    pipeline_result.emplace(query.RunDirect(ticket->row_sink));
+  } else {
+    JoinQuery query = *ticket->query;
+    rewrite(query);
+    join_result.emplace(query.RunDirect(ticket->sink));
+  }
 
   std::vector<std::shared_ptr<Ticket>> to_dispatch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     {
       std::lock_guard<std::mutex> tl(ticket->mu);
-      ticket->FinishLocked(std::move(result));  // Frees the carved budget.
+      // Frees the carved budget.
+      if (ticket->is_pipeline()) {
+        ticket->FinishPipelineLocked(std::move(*pipeline_result));
+      } else {
+        ticket->FinishLocked(std::move(*join_result));
+      }
     }
     running_--;
     idle_cv_.notify_all();

@@ -14,6 +14,7 @@
 
 #include "core/join_query.h"
 #include "core/memory_arbiter.h"
+#include "core/pipeline_query.h"
 #include "io/buffer_pool.h"
 #include "join/join_types.h"
 #include "util/result.h"
@@ -136,6 +137,33 @@ class SubmittedQuery {
   std::shared_ptr<Ticket> ticket_;
 };
 
+/// A future-like handle to one submitted pipeline — the PipelineQuery
+/// counterpart of SubmittedQuery, sharing the same ticket machinery
+/// (admission, degraded grants, cancel, deadlines) with a
+/// PipelineStats-typed outcome.
+class SubmittedPipeline {
+ public:
+  SubmittedPipeline() = default;
+
+  bool done() const;
+  void Wait() const;
+  /// Best-effort cancel of a still-queued pipeline (see
+  /// SubmittedQuery::Cancel).
+  bool Cancel();
+  /// Waits, then returns PipelineStats or the admission/execution error.
+  const sj::Result<PipelineStats>& Result() const;
+
+  size_t granted_bytes() const;
+  bool degraded() const;
+  uint64_t id() const;
+
+ private:
+  friend class SpatialService;
+  explicit SubmittedPipeline(std::shared_ptr<SubmittedQuery::Ticket> ticket)
+      : ticket_(std::move(ticket)) {}
+  std::shared_ptr<SubmittedQuery::Ticket> ticket_;
+};
+
 /// The process-wide spatial-join service: one global memory budget, one
 /// shared 2Q buffer pool, one morsel-style worker pool, and a FIFO
 /// admission scheduler in front of them.
@@ -182,6 +210,19 @@ class SpatialService {
   sj::Result<JoinStats> Run(const JoinQuery& query, JoinSink* sink,
                             const SubmitOptions& submit = SubmitOptions());
 
+  /// Submits an operator pipeline (core/pipeline_query.h). Pipelines are
+  /// first-class citizens of the scheduler: the same FIFO admission over
+  /// the same global budget, the same degraded grants, the same shared
+  /// worker pool and buffer pool — a pipeline's join source and its
+  /// operators all draw from the one carved child arbiter. Rows stream
+  /// into `sink` on the executing thread.
+  SubmittedPipeline Submit(const PipelineQuery& pipeline, RowSink* sink,
+                           const SubmitOptions& submit = SubmitOptions());
+
+  /// Submit + Result in one call.
+  sj::Result<PipelineStats> Run(const PipelineQuery& pipeline, RowSink* sink,
+                                const SubmitOptions& submit = SubmitOptions());
+
   ServiceStats stats() const;
   MemoryArbiter* global_arbiter() { return &global_arbiter_; }
   /// Null when the service was configured without workers / shared pool.
@@ -213,8 +254,16 @@ class SpatialService {
       const std::shared_ptr<SubmittedQuery::Ticket>& t);
   void Dispatch(std::vector<std::shared_ptr<SubmittedQuery::Ticket>> tickets);
   void Execute(const std::shared_ptr<SubmittedQuery::Ticket>& ticket);
+  /// The shared Submit body: validation, enqueue, and admission for a
+  /// fully-constructed ticket (join or pipeline — the ticket knows).
+  void SubmitTicket(const std::shared_ptr<SubmittedQuery::Ticket>& ticket,
+                    const SubmitOptions& submit);
 
   friend class SubmittedQuery;
+  friend class SubmittedPipeline;
+  /// Handle-side cancel shared by both handle types (see the .cc).
+  static bool CancelTicket(
+      const std::shared_ptr<SubmittedQuery::Ticket>& ticket);
   /// Cancel()'s gate-guarded notification: reap the cancelled ticket's
   /// queue slot now and re-run admission for whatever was behind it.
   /// Returns the tickets to dispatch (already counted in running_).

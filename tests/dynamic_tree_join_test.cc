@@ -4,13 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
-
-// This file intentionally exercises the deprecated SpatialJoiner::Join /
-// MultiwayJoin wrappers to pin the legacy surface until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 #include "datagen/synthetic.h"
 #include "join/bfs_join.h"
 #include "test_util.h"
@@ -72,8 +67,11 @@ TEST(DynamicTreeJoin, AllAlgorithmsExactOnChurnedIndexes) {
   for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
                              JoinAlgorithm::kST, JoinAlgorithm::kPQ}) {
     CollectingSink sink;
-    auto stats = joiner.Join(JoinInput::FromRTree(&ta),
-                             JoinInput::FromRTree(&tb), &sink, algo);
+    auto stats = JoinQuery(joiner)
+                     .Input(JoinInput::FromRTree(&ta))
+                     .Input(JoinInput::FromRTree(&tb))
+                     .Algorithm(algo)
+                     .Run(&sink);
     ASSERT_TRUE(stats.ok()) << ToString(algo);
     EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
   }

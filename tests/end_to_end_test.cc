@@ -5,13 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
-
-// This file intentionally exercises the deprecated SpatialJoiner::Join /
-// MultiwayJoin wrappers to pin the legacy surface until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 #include "datagen/tiger_gen.h"
 #include "test_util.h"
 
@@ -54,12 +49,13 @@ class EndToEnd : public ::testing::Test {
     const bool indexed =
         algo == JoinAlgorithm::kST || algo == JoinAlgorithm::kPQ;
     CountingSink sink;
-    auto stats = joiner.Join(
-        indexed ? JoinInput::FromRTree(&*roads_tree_)
-                : JoinInput::FromStream(roads_ref_),
-        indexed ? JoinInput::FromRTree(&*hydro_tree_)
-                : JoinInput::FromStream(hydro_ref_),
-        &sink, algo);
+    auto stats = JoinQuery(joiner)
+                     .Input(indexed ? JoinInput::FromRTree(&*roads_tree_)
+                                    : JoinInput::FromStream(roads_ref_))
+                     .Input(indexed ? JoinInput::FromRTree(&*hydro_tree_)
+                                    : JoinInput::FromStream(hydro_ref_))
+                     .Algorithm(algo)
+                     .Run(&sink);
     SJ_CHECK(stats.ok()) << stats.status().ToString();
     return *stats;
   }

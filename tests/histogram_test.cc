@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "datagen/synthetic.h"
 #include "test_util.h"
 
@@ -134,6 +137,53 @@ TEST(GridHistogram, EstimateCountInTracksRegionMass) {
                        hist.EstimateCountIn(RectF(cell.xlo, my, mx, cell.yhi)) +
                        hist.EstimateCountIn(RectF(mx, my, cell.xhi, cell.yhi));
   EXPECT_NEAR(quads, whole, 1e-6 * (1.0 + whole));
+}
+
+TEST(GridHistogram, EstimateCountInDegenerateQueriesAreZeroMass) {
+  const RectF extent(0, 0, 100, 100);
+  GridHistogram hist(extent, 16, 16);
+  for (const RectF& r : UniformRects(500, extent, 1.0f, 31)) hist.Add(r);
+
+  // Zero-area queries (points, horizontal/vertical segments) carry zero
+  // mass under the fractional-area model: exactly 0, never NaN or
+  // negative — including degenerate rects on the extent boundary.
+  EXPECT_EQ(hist.EstimateCountIn(RectF(50, 50, 50, 50)), 0.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF(10, 20, 90, 20)), 0.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF(30, 10, 30, 95)), 0.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF(0, 0, 0, 100)), 0.0);
+
+  // Inverted / NaN / Empty rectangles are invalid: 0, not garbage.
+  EXPECT_EQ(hist.EstimateCountIn(RectF(60, 60, 40, 40)), 0.0);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(hist.EstimateCountIn(RectF(nan, 0, 10, 10)), 0.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF::Empty()), 0.0);
+}
+
+TEST(GridHistogram, EstimateCountInOutsideAndOversizedQueries) {
+  const RectF extent(0, 0, 100, 100);
+  GridHistogram hist(extent, 16, 16);
+  for (const RectF& r : UniformRects(500, extent, 1.0f, 32)) hist.Add(r);
+
+  // Fully outside the extent on any side: exactly 0.
+  EXPECT_EQ(hist.EstimateCountIn(RectF(150, 150, 200, 200)), 0.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF(-50, 0, -10, 100)), 0.0);
+  EXPECT_EQ(hist.EstimateCountIn(RectF(0, 101, 100, 200)), 0.0);
+
+  // Far-oversized and infinite queries clamp to the grid instead of
+  // overflowing the cell-index cast; the estimate stays finite,
+  // non-negative, and equal to the whole-extent mass.
+  const double all = hist.EstimateCountIn(extent);
+  const float inf = std::numeric_limits<float>::infinity();
+  const double from_inf = hist.EstimateCountIn(RectF(-inf, -inf, inf, inf));
+  EXPECT_TRUE(std::isfinite(from_inf));
+  EXPECT_NEAR(from_inf, all, 1e-9 * (1.0 + all));
+  const double from_big =
+      hist.EstimateCountIn(RectF(-1e30f, -1e30f, 1e30f, 1e30f));
+  EXPECT_TRUE(std::isfinite(from_big));
+  EXPECT_NEAR(from_big, all, 1e-9 * (1.0 + all));
+
+  // The same clamping protects the conservative pruning test.
+  EXPECT_TRUE(hist.MightIntersect(RectF(-inf, -inf, inf, inf)));
 }
 
 TEST(GridHistogram, AverageCellsPerObjectMeasuresReplication) {

@@ -13,12 +13,6 @@
 
 #include "core/join_query.h"
 #include "core/spatial_join.h"
-
-// This file intentionally exercises the deprecated SpatialJoiner::Join /
-// MultiwayJoin wrappers to pin the legacy surface until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 #include "datagen/synthetic.h"
 #include "datagen/tiger_gen.h"
 #include "join/bfs_join.h"
@@ -549,8 +543,11 @@ TEST(JoinQueryOverrides, MatchDedicatedJoinerAndLeaveSharedOptionsAlone) {
   JoinInput ib = JoinInput::FromStream(db);
   ia.WithFeatures(&*store_a);
   ib.WithFeatures(&*store_b);
-  auto dedicated_stats =
-      dedicated.Join(ia, ib, &baseline, JoinAlgorithm::kSSSJ);
+  auto dedicated_stats = JoinQuery(dedicated)
+                             .Input(ia)
+                             .Input(ib)
+                             .Algorithm(JoinAlgorithm::kSSSJ)
+                             .Run(&baseline);
   ASSERT_TRUE(dedicated_stats.ok());
   EXPECT_EQ(overridden.pairs(), baseline.pairs());
   EXPECT_EQ(query_stats->output_count, dedicated_stats->output_count);

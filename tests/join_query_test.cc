@@ -11,11 +11,6 @@
 #include "core/join_query.h"
 #include "core/spatial_join.h"
 
-// This file intentionally exercises the deprecated SpatialJoiner::Join /
-// MultiwayJoin wrappers to pin the legacy surface until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 #include "datagen/synthetic.h"
 #include "refine/feature_store.h"
 #include "test_util.h"
@@ -161,21 +156,6 @@ TEST(JoinQueryErrors, RefineWithoutFeaturesOnSecondInput) {
   ASSERT_FALSE(stats.ok());
   EXPECT_NE(stats.status().ToString().find("input #1"), std::string::npos)
       << stats.status().ToString();
-}
-
-TEST(JoinQueryErrors, LegacyJoinReportsTheSameRefineError) {
-  QueryFixture f;
-  JoinOptions options;
-  options.refine = true;
-  SpatialJoiner joiner(&f.td.disk, options);
-  CollectingSink sink;
-  auto stats = joiner.Join(JoinInput::FromStream(f.da),
-                           JoinInput::FromStream(f.db), &sink);
-  ASSERT_FALSE(stats.ok());
-  const std::string message = stats.status().ToString();
-  EXPECT_NE(message.find("refine=true but input #0 has no FeatureStore"),
-            std::string::npos)
-      << message;
 }
 
 TEST(JoinQueryErrors, MultiwayRefineErrorNamesTheInput) {

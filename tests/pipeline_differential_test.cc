@@ -1,0 +1,383 @@
+// Randomized differential harness for the operator pipeline: seeded
+// random datasets, windows, grids, and query points, with every
+// configuration — 1/2/8 threads, tight and default memory budgets, both
+// storage backends — cross-checked against brute-force oracles for
+// window-scan, aggregate-by-cell, and top-k, standalone and composed
+// over a spatial join. Count aggregation and the top-k total order are
+// arrival-order independent, so every configuration must produce the
+// *same* rows, not merely equivalent ones.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline_query.h"
+#include "core/spatial_join.h"
+#include "datagen/synthetic.h"
+#include "io/storage.h"
+#include "op/operators.h"
+#include "op/row.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace sj {
+namespace {
+
+using testing_util::BruteForcePairs;
+using testing_util::MakeDataset;
+using testing_util::TestDisk;
+
+// ---------------------------------------------------------------------------
+// Oracles (shared arithmetic with tests/pipeline_test.cc)
+// ---------------------------------------------------------------------------
+
+uint32_t CellOf(float v, float lo, float w, uint32_t n) {
+  const float rel = (v - lo) / w;
+  if (!(rel > 0.0f)) return 0;
+  return static_cast<uint32_t>(std::min(rel, static_cast<float>(n - 1)));
+}
+
+RectF CellRectOracle(const RectF& extent, uint32_t nx, uint32_t ny,
+                     uint32_t ix, uint32_t iy) {
+  const float cw = (extent.xhi - extent.xlo) / static_cast<float>(nx);
+  const float ch = (extent.yhi - extent.ylo) / static_cast<float>(ny);
+  const float xlo = extent.xlo + static_cast<float>(ix) * cw;
+  const float ylo = extent.ylo + static_cast<float>(iy) * ch;
+  const float xhi =
+      ix + 1 == nx ? extent.xhi : extent.xlo + static_cast<float>(ix + 1) * cw;
+  const float yhi =
+      iy + 1 == ny ? extent.yhi : extent.ylo + static_cast<float>(iy + 1) * ch;
+  return RectF(xlo, ylo, xhi, yhi);
+}
+
+std::vector<PipeRow> AggregateCountOracle(const std::vector<PipeRow>& rows,
+                                          const RectF& extent, uint32_t nx,
+                                          uint32_t ny) {
+  const float cw = (extent.xhi - extent.xlo) / static_cast<float>(nx);
+  const float ch = (extent.yhi - extent.ylo) / static_cast<float>(ny);
+  std::map<uint64_t, double> cells;
+  for (const PipeRow& row : rows) {
+    if (!row.rect.Valid() || !row.rect.Intersects(extent)) continue;
+    const uint32_t x0 = CellOf(row.rect.xlo, extent.xlo, cw, nx);
+    const uint32_t x1 = CellOf(row.rect.xhi, extent.xlo, cw, nx);
+    const uint32_t y0 = CellOf(row.rect.ylo, extent.ylo, ch, ny);
+    const uint32_t y1 = CellOf(row.rect.yhi, extent.ylo, ch, ny);
+    for (uint32_t iy = y0; iy <= y1; ++iy) {
+      for (uint32_t ix = x0; ix <= x1; ++ix) {
+        cells[uint64_t{iy} * nx + ix] += 1.0;
+      }
+    }
+  }
+  std::vector<PipeRow> out;
+  for (const auto& [cell, v] : cells) {
+    PipeRow row;
+    row.rect = CellRectOracle(extent, nx, ny,
+                              static_cast<uint32_t>(cell % nx),
+                              static_cast<uint32_t>(cell / nx));
+    row.ids.push_back(static_cast<ObjectId>(cell));
+    row.value = v;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+struct TopKLess {
+  float qx, qy;
+  bool operator()(const PipeRow& a, const PipeRow& b) const {
+    const double da = TopKByDistanceOp::DistanceTo(a.rect, qx, qy);
+    const double db = TopKByDistanceOp::DistanceTo(b.rect, qx, qy);
+    if (da != db) return da < db;
+    if (a.ids != b.ids) return a.ids < b.ids;
+    if (a.rect.xlo != b.rect.xlo) return a.rect.xlo < b.rect.xlo;
+    if (a.rect.ylo != b.rect.ylo) return a.rect.ylo < b.rect.ylo;
+    if (a.rect.xhi != b.rect.xhi) return a.rect.xhi < b.rect.xhi;
+    if (a.rect.yhi != b.rect.yhi) return a.rect.yhi < b.rect.yhi;
+    return a.value < b.value;
+  }
+};
+
+std::vector<PipeRow> TopKOracle(std::vector<PipeRow> rows, size_t k, float qx,
+                                float qy) {
+  std::sort(rows.begin(), rows.end(), TopKLess{qx, qy});
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::vector<PipeRow> SortedByIds(std::vector<PipeRow> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const PipeRow& a, const PipeRow& b) { return a.ids < b.ids; });
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// One randomized trial
+// ---------------------------------------------------------------------------
+
+/// Every execution configuration the harness sweeps. A tight budget must
+/// change spill behaviour only, never results; threads and backends must
+/// change nothing observable but wall time.
+struct Config {
+  uint32_t threads;
+  size_t memory_bytes;
+  bool file_backend;
+
+  std::string Name() const {
+    return "threads=" + std::to_string(threads) +
+           " budget=" + std::to_string(memory_bytes >> 10) + "KiB" +
+           (file_backend ? " file" : " memory");
+  }
+};
+
+std::vector<Config> Sweep() {
+  std::vector<Config> configs;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    for (size_t budget : {size_t{256} << 10, size_t{24} << 20}) {
+      for (bool file_backend : {false, true}) {
+        configs.push_back(Config{threads, budget, file_backend});
+      }
+    }
+  }
+  return configs;
+}
+
+struct Trial {
+  TestDisk td;
+  std::vector<std::unique_ptr<Pager>> keep;
+  std::vector<RectF> a, b;
+  DatasetRef da, db;
+  std::optional<SpatialJoiner> joiner;
+  RectF window;
+  uint32_t nx, ny;
+  size_t k;
+  float qx, qy;
+
+  explicit Trial(uint64_t seed) {
+    Random rng(seed);
+    const RectF region(0, 0, 100, 100);
+    const uint64_t na = 100 + rng.Uniform(400);
+    const uint64_t nb = 100 + rng.Uniform(400);
+    a = UniformRects(na, region, 1.0f + static_cast<float>(rng.UniformDouble(0, 3)),
+                     seed * 7 + 1);
+    b = UniformRects(nb, region, 1.0f + static_cast<float>(rng.UniformDouble(0, 3)),
+                     seed * 7 + 2);
+    da = MakeDataset(&td, a, "a", &keep);
+    db = MakeDataset(&td, b, "b", &keep);
+    joiner.emplace(&td.disk, JoinOptions());
+
+    const float wx = static_cast<float>(rng.UniformDouble(0, 60));
+    const float wy = static_cast<float>(rng.UniformDouble(0, 60));
+    window = RectF(wx, wy, wx + 20 + static_cast<float>(rng.UniformDouble(0, 40)),
+                   wy + 20 + static_cast<float>(rng.UniformDouble(0, 40)));
+    nx = 4 + static_cast<uint32_t>(rng.Uniform(28));
+    ny = 4 + static_cast<uint32_t>(rng.Uniform(28));
+    k = 1 + static_cast<size_t>(rng.Uniform(20));
+    qx = static_cast<float>(rng.UniformDouble(0, 100));
+    qy = static_cast<float>(rng.UniformDouble(0, 100));
+  }
+
+  /// Applies one sweep configuration to a query under construction.
+  template <typename Query>
+  void Apply(Query& q, const Config& cfg,
+             const std::shared_ptr<StorageFactory>& file_factory) const {
+    q.Threads(cfg.threads).MemoryBytes(cfg.memory_bytes);
+    if (cfg.file_backend) q.Storage(file_factory);
+  }
+};
+
+std::shared_ptr<StorageFactory> FileFactory() {
+  auto factory = TmpFileStorageFactory::Make();
+  SJ_CHECK_OK(factory.status());
+  return std::shared_ptr<StorageFactory>(std::move(*factory));
+}
+
+// ---------------------------------------------------------------------------
+// Window scans: every configuration equals the brute-force selection.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineDifferential, WindowScanAcrossConfigurations) {
+  auto file_factory = FileFactory();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Trial t(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    std::vector<PipeRow> expected;
+    for (const RectF& r : t.a) {
+      if (!r.Intersects(t.window)) continue;
+      PipeRow row;
+      row.rect = r;
+      row.rect.id = 0;
+      row.ids.push_back(r.id);
+      expected.push_back(std::move(row));
+    }
+    expected = SortedByIds(std::move(expected));
+
+    for (const Config& cfg : Sweep()) {
+      SCOPED_TRACE(cfg.Name());
+      CollectingRowSink sink;
+      PipelineQuery q(*t.joiner);
+      q.Input(JoinInput::FromStream(t.da)).Window(t.window);
+      t.Apply(q, cfg, file_factory);
+      auto stats = q.Run(&sink);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(SortedByIds(sink.rows()), expected);
+      EXPECT_EQ(stats->output_count, expected.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate-by-cell over a join: identical rows in every configuration.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineDifferential, JoinAggregateAcrossConfigurations) {
+  auto file_factory = FileFactory();
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    Trial t(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    // Oracle: windowed inputs -> brute-force pairs -> contact boxes ->
+    // count aggregation (order-independent).
+    std::vector<RectF> wa, wb;
+    for (const RectF& r : t.a) {
+      if (r.Intersects(t.window)) wa.push_back(r);
+    }
+    for (const RectF& r : t.b) {
+      if (r.Intersects(t.window)) wb.push_back(r);
+    }
+    std::map<ObjectId, RectF> am, bm;
+    for (const RectF& r : wa) am[r.id] = r;
+    for (const RectF& r : wb) bm[r.id] = r;
+    std::vector<PipeRow> join_rows;
+    for (const IdPair& p : BruteForcePairs(wa, wb)) {
+      PipeRow row;
+      row.rect = JoinRowAdapter::ContactBox({am.at(p.a), bm.at(p.b)});
+      row.ids = {p.a, p.b};
+      join_rows.push_back(std::move(row));
+    }
+    const std::vector<PipeRow> expected =
+        AggregateCountOracle(join_rows, t.window, t.nx, t.ny);
+
+    std::optional<std::vector<PipeRow>> reference;
+    for (const Config& cfg : Sweep()) {
+      SCOPED_TRACE(cfg.Name());
+      CollectingRowSink sink;
+      PipelineQuery q(*t.joiner);
+      q.Input(JoinInput::FromStream(t.da))
+          .Input(JoinInput::FromStream(t.db))
+          .Window(t.window)
+          .AggregateByCell(AggregateMode::kCount, t.nx, t.ny, t.window);
+      t.Apply(q, cfg, file_factory);
+      auto stats = q.Run(&sink);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+      // Cell order is canonical, so rows match the oracle *exactly* and
+      // every configuration produces the same vector.
+      EXPECT_EQ(sink.rows(), expected);
+      if (!reference.has_value()) {
+        reference = sink.rows();
+      } else {
+        EXPECT_EQ(sink.rows(), *reference);
+      }
+      // Default-budget runs stay within their arbiter budget (tight
+      // budgets may be floored above the request by design).
+      if (cfg.memory_bytes >= (24u << 20)) {
+        EXPECT_LE(stats->peak_memory_bytes, cfg.memory_bytes);
+      }
+      EXPECT_GT(stats->peak_memory_bytes, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top-k over a join: the total order makes every configuration exact.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineDifferential, JoinTopKAcrossConfigurations) {
+  auto file_factory = FileFactory();
+  for (uint64_t seed : {7u, 8u}) {
+    Trial t(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    std::map<ObjectId, RectF> am, bm;
+    for (const RectF& r : t.a) am[r.id] = r;
+    for (const RectF& r : t.b) bm[r.id] = r;
+    std::vector<PipeRow> join_rows;
+    for (const IdPair& p : BruteForcePairs(t.a, t.b)) {
+      PipeRow row;
+      row.rect = JoinRowAdapter::ContactBox({am.at(p.a), bm.at(p.b)});
+      row.ids = {p.a, p.b};
+      join_rows.push_back(std::move(row));
+    }
+    const std::vector<PipeRow> expected =
+        TopKOracle(join_rows, t.k, t.qx, t.qy);
+
+    for (const Config& cfg : Sweep()) {
+      SCOPED_TRACE(cfg.Name());
+      CollectingRowSink sink;
+      PipelineQuery q(*t.joiner);
+      q.Input(JoinInput::FromStream(t.da))
+          .Input(JoinInput::FromStream(t.db))
+          .TopKByDistance(t.k, t.qx, t.qy);
+      t.Apply(q, cfg, file_factory);
+      auto stats = q.Run(&sink);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(sink.rows(), expected);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The full compose, one seed per configuration axis extreme: window ->
+// join -> filter -> aggregate -> top-k.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineDifferential, FullComposeAcrossConfigurations) {
+  auto file_factory = FileFactory();
+  Trial t(9);
+  auto pred = [](const PipeRow& r) { return r.rect.Area() < 8.0; };
+
+  std::vector<RectF> wa, wb;
+  for (const RectF& r : t.a) {
+    if (r.Intersects(t.window)) wa.push_back(r);
+  }
+  for (const RectF& r : t.b) {
+    if (r.Intersects(t.window)) wb.push_back(r);
+  }
+  std::map<ObjectId, RectF> am, bm;
+  for (const RectF& r : wa) am[r.id] = r;
+  for (const RectF& r : wb) bm[r.id] = r;
+  std::vector<PipeRow> join_rows;
+  for (const IdPair& p : BruteForcePairs(wa, wb)) {
+    PipeRow row;
+    row.rect = JoinRowAdapter::ContactBox({am.at(p.a), bm.at(p.b)});
+    row.ids = {p.a, p.b};
+    if (pred(row)) join_rows.push_back(std::move(row));
+  }
+  const std::vector<PipeRow> expected = TopKOracle(
+      AggregateCountOracle(join_rows, t.window, t.nx, t.ny), t.k, t.qx, t.qy);
+
+  for (const Config& cfg : Sweep()) {
+    SCOPED_TRACE(cfg.Name());
+    CollectingRowSink sink;
+    PipelineQuery q(*t.joiner);
+    q.Input(JoinInput::FromStream(t.da))
+        .Input(JoinInput::FromStream(t.db))
+        .Window(t.window)
+        .Filter(pred, "small")
+        .AggregateByCell(AggregateMode::kCount, t.nx, t.ny, t.window)
+        .TopKByDistance(t.k, t.qx, t.qy);
+    t.Apply(q, cfg, file_factory);
+    auto stats = q.Run(&sink);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(sink.rows(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace sj

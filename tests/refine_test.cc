@@ -7,13 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/join_query.h"
 #include "core/spatial_join.h"
-
-// This file intentionally exercises the deprecated SpatialJoiner::Join /
-// MultiwayJoin wrappers to pin the legacy surface until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 #include "datagen/synthetic.h"
 #include "refine/feature_store.h"
 #include "test_util.h"
@@ -224,7 +219,8 @@ TEST(Refine, JoinerRefinesThroughEveryAlgorithm) {
                              JoinAlgorithm::kST, JoinAlgorithm::kPQ,
                              JoinAlgorithm::kAuto}) {
     CollectingSink sink;
-    auto stats = joiner.Join(ia, ib, &sink, algo);
+    auto stats = JoinQuery(joiner).Input(ia).Input(ib).Algorithm(algo).Run(
+        &sink);
     ASSERT_TRUE(stats.ok()) << ToString(algo) << ": "
                             << stats.status().ToString();
     EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
@@ -246,8 +242,10 @@ TEST(Refine, JoinerWithoutStoresFailsPrecondition) {
   options.refine = true;
   SpatialJoiner joiner(&td.disk, options);
   CollectingSink sink;
-  auto stats = joiner.Join(JoinInput::FromStream(da),
-                           JoinInput::FromStream(db), &sink);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromStream(da))
+                   .Input(JoinInput::FromStream(db))
+                   .Run(&sink);
   EXPECT_FALSE(stats.ok());
 }
 
@@ -260,9 +258,11 @@ TEST(Refine, UnrefinedJoinReportsCandidatesEqualOutput) {
   const DatasetRef db = MakeDataset(&td, b, "b", &keep);
   SpatialJoiner joiner(&td.disk, JoinOptions());
   CollectingSink sink;
-  auto stats = joiner.Join(JoinInput::FromStream(da),
-                           JoinInput::FromStream(db), &sink,
-                           JoinAlgorithm::kSSSJ);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromStream(da))
+                   .Input(JoinInput::FromStream(db))
+                   .Algorithm(JoinAlgorithm::kSSSJ)
+                   .Run(&sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->candidate_count, stats->output_count);
   EXPECT_EQ(stats->refine_pages_read, 0u);
@@ -324,7 +324,8 @@ TEST(Refine, MultiwayTuplesPairwisePredicate) {
     ib.WithFeatures(&*sb);
     ic.WithFeatures(&*sc);
     CollectingTupleSink sink;
-    auto stats = joiner.MultiwayJoin({ia, ib, ic}, &sink);
+    auto stats = JoinQuery(joiner).Input(ia).Input(ib).Input(ic).Run(
+        static_cast<TupleSink*>(&sink));
     ASSERT_TRUE(stats.ok()) << stats.status().ToString();
     EXPECT_EQ(stats->candidate_count, filter_tuples.size());
     EXPECT_EQ(stats->output_count, exact_tuples.size());

@@ -1,13 +1,8 @@
 #include "core/spatial_join.h"
 
-// This file intentionally exercises the deprecated SpatialJoiner::Join /
-// MultiwayJoin wrappers to pin the legacy surface until it is removed.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 #include <gtest/gtest.h>
 
+#include "core/join_query.h"
 #include "datagen/synthetic.h"
 #include "test_util.h"
 
@@ -64,7 +59,8 @@ TEST_F(SpatialJoinerTest, AllAlgorithmPathsAgree) {
   for (JoinAlgorithm algo : {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM,
                              JoinAlgorithm::kST, JoinAlgorithm::kPQ}) {
     CollectingSink sink;
-    auto stats = joiner.Join(ia, ib, &sink, algo);
+    auto stats = JoinQuery(joiner).Input(ia).Input(ib).Algorithm(algo).Run(
+        &sink);
     ASSERT_TRUE(stats.ok()) << ToString(algo) << ": "
                             << stats.status().ToString();
     EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
@@ -73,13 +69,18 @@ TEST_F(SpatialJoinerTest, AllAlgorithmPathsAgree) {
   for (JoinAlgorithm algo :
        {JoinAlgorithm::kSSSJ, JoinAlgorithm::kPBSM, JoinAlgorithm::kPQ}) {
     CollectingSink sink;
-    auto stats = joiner.Join(ia, sb, &sink, algo);
+    auto stats = JoinQuery(joiner).Input(ia).Input(sb).Algorithm(algo).Run(
+        &sink);
     ASSERT_TRUE(stats.ok()) << ToString(algo);
     EXPECT_EQ(Sorted(sink.pairs()), expected) << ToString(algo);
   }
   {
     CollectingSink sink;
-    auto stats = joiner.Join(sa, sb, &sink, JoinAlgorithm::kSSSJ);
+    auto stats = JoinQuery(joiner)
+                     .Input(sa)
+                     .Input(sb)
+                     .Algorithm(JoinAlgorithm::kSSSJ)
+                     .Run(&sink);
     ASSERT_TRUE(stats.ok());
     EXPECT_EQ(Sorted(sink.pairs()), expected);
   }
@@ -91,9 +92,11 @@ TEST_F(SpatialJoinerTest, StRequiresBothIndexes) {
   const DatasetRef db = Dataset(a, "b");
   SpatialJoiner joiner(&td_.disk, JoinOptions());
   CountingSink sink;
-  auto stats = joiner.Join(JoinInput::FromRTree(&ta),
-                           JoinInput::FromStream(db), &sink,
-                           JoinAlgorithm::kST);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromRTree(&ta))
+                   .Input(JoinInput::FromStream(db))
+                   .Algorithm(JoinAlgorithm::kST)
+                   .Run(&sink);
   EXPECT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -134,9 +137,12 @@ TEST_F(SpatialJoinerTest, PlannerPrefersIndexForLocalizedJoin) {
 
   // And the auto-join is correct.
   CollectingSink sink;
-  auto stats = joiner.Join(JoinInput::FromRTree(&ta),
-                           JoinInput::FromStream(db), &sink,
-                           JoinAlgorithm::kAuto, &ha, &hb);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromRTree(&ta))
+                   .Input(JoinInput::FromStream(db))
+                   .WithHistogram(0, &ha)
+                   .WithHistogram(1, &hb)
+                   .Run(&sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(Sorted(sink.pairs()), BruteForcePairs(a, b));
 }
@@ -162,10 +168,11 @@ TEST_F(SpatialJoinerTest, MultiwayThroughFacade) {
 
   SpatialJoiner joiner(&td_.disk, JoinOptions());
   CountingTupleSink sink;
-  auto stats = joiner.MultiwayJoin(
-      {JoinInput::FromRTree(&ta), JoinInput::FromStream(db),
-       JoinInput::FromStream(dc)},
-      &sink);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromRTree(&ta))
+                   .Input(JoinInput::FromStream(db))
+                   .Input(JoinInput::FromStream(dc))
+                   .Run(static_cast<TupleSink*>(&sink));
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
 
   uint64_t expected = 0;
@@ -192,14 +199,69 @@ TEST_F(SpatialJoinerTest, SortedStreamInputSkipsSorting) {
   SpatialJoiner joiner(&td_.disk, JoinOptions());
   td_.disk.ResetStats();
   CollectingSink sink;
-  auto stats = joiner.Join(JoinInput::FromSortedStream(da),
-                           JoinInput::FromSortedStream(db), &sink,
-                           JoinAlgorithm::kPQ);
+  auto stats = JoinQuery(joiner)
+                   .Input(JoinInput::FromSortedStream(da))
+                   .Input(JoinInput::FromSortedStream(db))
+                   .Algorithm(JoinAlgorithm::kPQ)
+                   .Run(&sink);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(Sorted(sink.pairs()), expected);
   // One read pass, no writes (no sorting happened).
   EXPECT_EQ(stats->disk.pages_written, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// The one remaining deprecation-compat test: the legacy SpatialJoiner
+// wrappers stay thin shims over JoinQuery until removal — identical
+// results, identical stats. Everything else in the tree builds queries.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST_F(SpatialJoinerTest, DeprecatedWrappersMatchJoinQuery) {
+  const RectF region(0, 0, 60, 60);
+  const auto a = UniformRects(300, region, 2.0f, 14);
+  const auto b = UniformRects(300, region, 2.0f, 15);
+  const auto c = UniformRects(200, region, 3.0f, 16);
+  const DatasetRef da = Dataset(a, "a");
+  const DatasetRef db = Dataset(b, "b");
+  const DatasetRef dc = Dataset(c, "c");
+  SpatialJoiner joiner(&td_.disk, JoinOptions());
+
+  CollectingSink legacy, query;
+  auto legacy_stats = joiner.Join(JoinInput::FromStream(da),
+                                  JoinInput::FromStream(db), &legacy);
+  auto query_stats = JoinQuery(joiner)
+                         .Input(JoinInput::FromStream(da))
+                         .Input(JoinInput::FromStream(db))
+                         .Run(&query);
+  ASSERT_TRUE(legacy_stats.ok()) << legacy_stats.status().ToString();
+  ASSERT_TRUE(query_stats.ok()) << query_stats.status().ToString();
+  EXPECT_EQ(legacy.pairs(), query.pairs());
+  EXPECT_EQ(legacy_stats->output_count, query_stats->output_count);
+  EXPECT_EQ(legacy_stats->candidate_count, query_stats->candidate_count);
+
+  CountingTupleSink legacy_multi, query_multi;
+  auto legacy_multi_stats = joiner.MultiwayJoin(
+      {JoinInput::FromStream(da), JoinInput::FromStream(db),
+       JoinInput::FromStream(dc)},
+      &legacy_multi);
+  auto query_multi_stats = JoinQuery(joiner)
+                               .Input(JoinInput::FromStream(da))
+                               .Input(JoinInput::FromStream(db))
+                               .Input(JoinInput::FromStream(dc))
+                               .Run(static_cast<TupleSink*>(&query_multi));
+  ASSERT_TRUE(legacy_multi_stats.ok())
+      << legacy_multi_stats.status().ToString();
+  ASSERT_TRUE(query_multi_stats.ok())
+      << query_multi_stats.status().ToString();
+  EXPECT_EQ(legacy_multi_stats->output_count, query_multi_stats->output_count);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace sj
