@@ -1,81 +1,136 @@
 // Microbenchmark for the §3.1 claim (from [4]) that Striped-Sweep is a
-// factor 2-5 faster than Forward-Sweep on realistic data, plus a strip-
-// count sensitivity sweep.
+// factor 2-5 faster than Forward-Sweep on realistic data, extended with
+// the scalar-vs-vectorized kernel comparison: each structure runs the
+// same TIGER-ladder sweep with the kernels forced scalar and forced
+// vectorized (sweep/sweep_kernels.h), asserting identical output pair
+// counts and memory accounting, and reporting the kernel speedup. A
+// strip-count sensitivity sweep rides along. Ends with a one-line JSON
+// summary for the CI bench-smoke log.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
-#include "datagen/tiger_gen.h"
+#include "bench_common.h"
 #include "sweep/interval_structures.h"
 #include "sweep/sweep_join.h"
+#include "util/logging.h"
 
 namespace sj {
+namespace bench {
 namespace {
 
-struct SweepData {
-  std::vector<RectF> roads;
-  std::vector<RectF> hydro;
-  RectF region;
+struct SweepResult {
+  double ms = 0;
+  uint64_t output = 0;
+  size_t max_bytes = 0;
 };
 
-const SweepData& GetSweepData(uint64_t n) {
-  static std::map<uint64_t, SweepData>* cache =
-      new std::map<uint64_t, SweepData>();
-  auto it = cache->find(n);
-  if (it != cache->end()) return it->second;
-  SweepData data;
-  TigerGenerator gen(12345);
-  gen.GenerateRoads(n, &data.roads);
-  gen.GenerateHydro(n / 4, &data.hydro);
-  std::sort(data.roads.begin(), data.roads.end(), OrderByYLo());
-  std::sort(data.hydro.begin(), data.hydro.end(), OrderByYLo());
-  data.region = gen.region();
-  return cache->emplace(n, std::move(data)).first->second;
-}
-
+/// One timed sweep join (best of 3) with the kernels forced to `mode`.
 template <typename Structure>
-void RunSweep(benchmark::State& state, uint32_t strips) {
-  const SweepData& data = GetSweepData(static_cast<uint64_t>(state.range(0)));
-  uint64_t output = 0;
-  for (auto _ : state) {
-    VectorRectSource a(&data.roads), b(&data.hydro);
-    Structure sa(data.region, strips), sb(data.region, strips);
+SweepResult TimedSweep(const std::vector<RectF>& roads,
+                       const std::vector<RectF>& hydro, const RectF& region,
+                       uint32_t strips, SweepKernelMode mode) {
+  SweepResult result;
+  SetSweepKernelMode(mode);
+  result.ms = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    VectorRectSource a(&roads), b(&hydro);
+    Structure sa(region, strips), sb(region, strips);
+    const auto t0 = std::chrono::steady_clock::now();
     const SweepRunStats stats = SweepJoinRun(
         a, b, sa, sb, [](const RectF&, const RectF&) {}, [] {});
-    output = stats.output_count;
-    benchmark::DoNotOptimize(output);
+    const auto t1 = std::chrono::steady_clock::now();
+    result.ms = std::min(
+        result.ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    result.output = stats.output_count;
+    result.max_bytes = stats.max_structure_bytes;
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(data.roads.size() +
-                                               data.hydro.size()));
-  state.counters["output"] = static_cast<double>(output);
+  ResetSweepKernelMode();
+  return result;
 }
 
-void BM_ForwardSweep(benchmark::State& state) {
-  RunSweep<ForwardSweep>(state, 0);
-}
-void BM_StripedSweep(benchmark::State& state) {
-  RunSweep<StripedSweep>(state, 1024);
-}
-void BM_StripedSweepStrips(benchmark::State& state) {
-  const SweepData& data = GetSweepData(100000);
-  const uint32_t strips = static_cast<uint32_t>(state.range(0));
-  for (auto _ : state) {
-    VectorRectSource a(&data.roads), b(&data.hydro);
-    StripedSweep sa(data.region, strips), sb(data.region, strips);
-    const SweepRunStats stats = SweepJoinRun(
-        a, b, sa, sb, [](const RectF&, const RectF&) {}, [] {});
-    benchmark::DoNotOptimize(stats.output_count);
-  }
-}
+void Run(const BenchConfig& config) {
+  std::printf(
+      "== Sweep kernels: scalar vs vectorized (isa %s, scale %.4g) ==\n\n",
+      SweepKernelIsa(), config.scale);
+  std::printf("%-10s %-8s %10s %10s %8s %12s\n", "Dataset", "Struct",
+              "Scalar(ms)", "Vector(ms)", "Speedup", "Output");
+  PrintHeaderRule(64);
 
-BENCHMARK(BM_ForwardSweep)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_StripedSweep)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_StripedSweepStrips)
-    ->Arg(16)
-    ->Arg(128)
-    ->Arg(1024)
-    ->Arg(8192)
-    ->Unit(benchmark::kMillisecond);
+  double fwd_scalar = 0, fwd_vector = 0, str_scalar = 0, str_vector = 0;
+  bool identical = true;
+  for (const std::string& name : config.datasets) {
+    const LoadedDataset& data = GetDataset(name, config.scale);
+    std::vector<RectF> roads = data.roads, hydro = data.hydro;
+    std::sort(roads.begin(), roads.end(), OrderByYLo());
+    std::sort(hydro.begin(), hydro.end(), OrderByYLo());
+    RectF region = RectF::Empty();
+    for (const RectF& r : roads) region.ExtendTo(r);
+    for (const RectF& r : hydro) region.ExtendTo(r);
+
+    const SweepResult fs = TimedSweep<ForwardSweep>(
+        roads, hydro, region, 0, SweepKernelMode::kScalar);
+    const SweepResult fv = TimedSweep<ForwardSweep>(
+        roads, hydro, region, 0, SweepKernelMode::kVectorized);
+    const SweepResult ss = TimedSweep<StripedSweep>(
+        roads, hydro, region, 1024, SweepKernelMode::kScalar);
+    const SweepResult sv = TimedSweep<StripedSweep>(
+        roads, hydro, region, 1024, SweepKernelMode::kVectorized);
+    // Both modes must be indistinguishable in output and accounting.
+    SJ_CHECK(fs.output == fv.output && fs.max_bytes == fv.max_bytes);
+    SJ_CHECK(ss.output == sv.output && ss.max_bytes == sv.max_bytes);
+    SJ_CHECK(fs.output == ss.output);
+    identical = identical && fs.output == fv.output && ss.output == sv.output;
+    fwd_scalar += fs.ms;
+    fwd_vector += fv.ms;
+    str_scalar += ss.ms;
+    str_vector += sv.ms;
+
+    std::printf("%-10s %-8s %10.2f %10.2f %7.2fx %12llu\n", name.c_str(),
+                "forward", fs.ms, fv.ms, fs.ms / fv.ms,
+                static_cast<unsigned long long>(fs.output));
+    std::printf("%-10s %-8s %10.2f %10.2f %7.2fx %12llu\n", name.c_str(),
+                "striped", ss.ms, sv.ms, ss.ms / sv.ms,
+                static_cast<unsigned long long>(ss.output));
+  }
+
+  // Strip-count sensitivity (vectorized, first dataset): the [4] claim is
+  // about queries touching few strips; too few strips degrades toward
+  // Forward-Sweep, too many pays replication.
+  const LoadedDataset& first = GetDataset(config.datasets.front(),
+                                          config.scale);
+  std::vector<RectF> roads = first.roads, hydro = first.hydro;
+  std::sort(roads.begin(), roads.end(), OrderByYLo());
+  std::sort(hydro.begin(), hydro.end(), OrderByYLo());
+  RectF region = RectF::Empty();
+  for (const RectF& r : roads) region.ExtendTo(r);
+  for (const RectF& r : hydro) region.ExtendTo(r);
+  std::printf("\n%s strip sensitivity (vectorized): ",
+              config.datasets.front().c_str());
+  for (uint32_t strips : {16u, 128u, 1024u, 8192u}) {
+    const SweepResult r = TimedSweep<StripedSweep>(
+        roads, hydro, region, strips, SweepKernelMode::kVectorized);
+    std::printf("%u:%.2fms ", strips, r.ms);
+  }
+  std::printf("\n\n");
+
+  std::printf(
+      "{\"bench\":\"sweep_structures\",\"isa\":\"%s\",\"scale\":%.4g,"
+      "\"forward_speedup\":%.2f,\"striped_speedup\":%.2f,"
+      "\"forward_scalar_ms\":%.2f,\"forward_vector_ms\":%.2f,"
+      "\"striped_scalar_ms\":%.2f,\"striped_vector_ms\":%.2f,"
+      "\"identical_output\":%s}\n",
+      SweepKernelIsa(), config.scale, fwd_scalar / fwd_vector,
+      str_scalar / str_vector, fwd_scalar, fwd_vector, str_scalar, str_vector,
+      identical ? "true" : "false");
+}
 
 }  // namespace
+}  // namespace bench
 }  // namespace sj
+
+int main(int argc, char** argv) {
+  sj::bench::Run(sj::bench::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

@@ -132,6 +132,28 @@ class CostModel {
     return touched_fraction < IndexBreakEvenFraction();
   }
 
+  // Sweep-kernel CPU terms. The sweep inner loop (interval-structure
+  // scans, calibrated by bench_sweep_structures on the TIGER ladder)
+  // processes active-set lanes at roughly these per-lane costs; the
+  // vectorized SoA kernels (sweep/sweep_kernels.h) stream contiguous
+  // lanes several times faster than the scalar walk. The ratio, not the
+  // absolute numbers, is what matters to planning: it tells the planner
+  // how much of a join is CPU-bound sweep work vs. modeled I/O.
+
+  /// Scalar fallback: one branchy compare chain per 20-byte lane.
+  static constexpr double kSweepScalarNsPerLane = 1.5;
+  /// Vectorized SoA kernels: 8-lane AVX2 / 4-lane SSE2-NEON blocks.
+  static constexpr double kSweepVectorNsPerLane = 0.4;
+
+  /// Modeled seconds of sweep CPU for `lanes` total active-set lanes
+  /// scanned (summed over every QueryAndExpire pass), under the given
+  /// kernel mode. Monotone in lanes; vectorized is strictly cheaper.
+  double SweepCpuSeconds(uint64_t lanes, bool vectorized) const {
+    const double ns =
+        vectorized ? kSweepVectorNsPerLane : kSweepScalarNsPerLane;
+    return static_cast<double>(lanes) * ns * 1e-9;
+  }
+
   // Per-operator terms for pipeline plans (src/op/, PipelineQuery): each
   // prices one physical operator so Explain() can annotate the whole
   // operator tree with the same arithmetic the join terms use.

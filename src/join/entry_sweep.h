@@ -1,9 +1,12 @@
 #ifndef USJ_JOIN_ENTRY_SWEEP_H_
 #define USJ_JOIN_ENTRY_SWEEP_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "geometry/rect.h"
+#include "sweep/sweep_kernels.h"
 
 namespace sj {
 
@@ -11,21 +14,48 @@ namespace sj {
 /// `emit(const RectF&, const RectF&)` for every pair overlapping in both
 /// axes, each pair exactly once. This is the per-node-pair pairing step
 /// of ST and BFS (Brinkhoff et al.'s restriction + sweep).
+///
+/// The inner scan runs as a batched kernel: each list is staged into
+/// struct-of-arrays lanes once, and the run of candidates for a sweep
+/// step is classified by kernels::BatchRectOverlap in contiguous SIMD
+/// blocks. The scan end (first lane with !(xlo <= a.xhi)) and the y-test
+/// per lane follow IEEE comparison semantics exactly as the scalar loop
+/// did, so emitted pairs and their order are identical in both kernel
+/// modes.
 template <typename Emit>
 void SweepEntryLists(const std::vector<RectF>& as, const std::vector<RectF>& bs,
                      Emit&& emit) {
+  if (as.empty() || bs.empty()) return;
+  const SweepKernelMode mode = ActiveSweepKernelMode();
+  // Node entry lists are small (ST/BFS cap them at a few hundred) but
+  // this runs once per node pair; thread_local scratch avoids per-call
+  // allocation in the parallel tree joins.
+  thread_local SoaRects lanes_a, lanes_b;
+  thread_local std::vector<uint8_t> mask;
+  lanes_a.Assign(as.data(), as.size());
+  lanes_b.Assign(bs.data(), bs.size());
+  mask.resize(std::max(as.size(), bs.size()));
+
   size_t i = 0, j = 0;
   while (i < as.size() && j < bs.size()) {
     if (as[i].xlo < bs[j].xlo) {
       const RectF& a = as[i];
-      for (size_t k = j; k < bs.size() && bs[k].xlo <= a.xhi; ++k) {
-        if (a.ylo <= bs[k].yhi && bs[k].ylo <= a.yhi) emit(a, bs[k]);
+      const size_t run = kernels::BatchRectOverlap(
+          mode, lanes_b.xlo.data() + j, lanes_b.ylo.data() + j,
+          lanes_b.yhi.data() + j, bs.size() - j, a.xhi, a.ylo, a.yhi,
+          mask.data());
+      for (size_t k = 0; k < run; ++k) {
+        if (mask[k]) emit(a, bs[j + k]);
       }
       i++;
     } else {
       const RectF& b = bs[j];
-      for (size_t k = i; k < as.size() && as[k].xlo <= b.xhi; ++k) {
-        if (b.ylo <= as[k].yhi && as[k].ylo <= b.yhi) emit(as[k], b);
+      const size_t run = kernels::BatchRectOverlap(
+          mode, lanes_a.xlo.data() + i, lanes_a.ylo.data() + i,
+          lanes_a.yhi.data() + i, as.size() - i, b.xhi, b.ylo, b.yhi,
+          mask.data());
+      for (size_t k = 0; k < run; ++k) {
+        if (mask[k]) emit(as[i + k], b);
       }
       j++;
     }

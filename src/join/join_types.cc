@@ -18,6 +18,9 @@ std::string JoinStats::Describe() const {
   if (max_sweep_bytes > 0) {
     os << "; sweep max " << (max_sweep_bytes + 1023) / 1024 << " KB";
   }
+  if (sweep_strips_collapsed) {
+    os << "; STRIPED SWEEP COLLAPSED (degenerate extent, single strip)";
+  }
   if (partitions_total > 0) {
     // SSSJ's strip fallback partitions without a PBSM tile grid.
     if (pbsm_tiles_x > 0) {
@@ -93,6 +96,9 @@ std::vector<std::pair<std::string, std::string>> JoinStats::ToKeyValues()
   }
   if (max_queue_bytes > 0) {
     kv.emplace_back("max_queue_bytes", std::to_string(max_queue_bytes));
+  }
+  if (sweep_strips_collapsed) {
+    kv.emplace_back("sweep_strips_collapsed", "1");
   }
   if (partitions_total > 0) {
     kv.emplace_back("partitions_total", std::to_string(partitions_total));

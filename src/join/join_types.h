@@ -186,6 +186,11 @@ struct JoinStats {
   /// folded into `disk` like everything else).
   uint64_t candidate_count = 0;
   uint64_t refine_pages_read = 0;
+  /// True when any StripedSweep in the join fell back to a single strip
+  /// because its extent was degenerate or non-finite (StripedSweep's
+  /// hardened construction) — the join ran correctly but the striping
+  /// speedup was lost, which used to happen silently.
+  bool sweep_strips_collapsed = false;
 
   /// The classic cost estimate (Figure 2(a)-(c)): every page read priced
   /// as a random single-page access, plus scaled CPU.

@@ -230,6 +230,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
     CollectingSink sink;
     uint64_t output = 0;
     size_t max_sweep_bytes = 0;
+    bool strips_collapsed = false;
     uint64_t part_bytes = 0;
     bool overflowed = false;
     double cpu_seconds = 0;
@@ -348,6 +349,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
           sweep_grant.NoteUsage(sweep_stats.max_structure_bytes);
         }
         t.max_sweep_bytes = sweep_stats.max_structure_bytes;
+        t.strips_collapsed = sweep_stats.strips_collapsed;
         t.cpu_seconds = cpu.Elapsed();
         return Status::OK();
       }));
@@ -357,6 +359,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   size_t max_sweep = 0;
   size_t max_partition_bytes = 0;
   uint32_t overflowed = 0;
+  bool strips_collapsed = false;
   double worker_cpu = 0;
   DiskStats shard_disk;
   for (const PartitionTask& t : tasks) {
@@ -368,6 +371,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
     max_partition_bytes =
         std::max<size_t>(max_partition_bytes, t.part_bytes);
     if (t.overflowed) overflowed++;
+    strips_collapsed = strips_collapsed || t.strips_collapsed;
     worker_cpu += t.cpu_seconds;
     shard_disk += t.disk->stats();
     scope->FoldChild(*t.memory);
@@ -380,6 +384,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   if (pooled) stats.host_cpu_seconds += worker_cpu;
   stats.output_count = output;
   stats.max_sweep_bytes = max_sweep;
+  stats.sweep_strips_collapsed = strips_collapsed;
   stats.partitions_total = p;
   stats.partitions_overflowed = overflowed;
   stats.max_partition_bytes = max_partition_bytes;

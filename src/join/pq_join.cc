@@ -49,6 +49,7 @@ Result<JoinStats> PQJoinSources(SortedRectSource* a, SortedRectSource* b,
   JoinStats stats = measurement.Finish();
   stats.output_count = sweep_stats.output_count;
   stats.max_sweep_bytes = sweep_stats.max_structure_bytes;
+  stats.sweep_strips_collapsed = sweep_stats.strips_collapsed;
   stats.max_queue_bytes = max_queue_bytes;
   queue_grant.Release();
   sweep_grant.Release();

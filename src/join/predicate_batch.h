@@ -1,0 +1,45 @@
+#ifndef USJ_JOIN_PREDICATE_BATCH_H_
+#define USJ_JOIN_PREDICATE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/segment.h"
+#include "join/predicate.h"
+#include "sweep/sweep_kernels.h"
+
+namespace sj {
+
+/// Batched exact-geometry predicates for the refinement step: evaluate a
+/// whole candidate batch with flat per-lane passes instead of one
+/// pair-at-a-time EvaluateExactPredicate call per candidate.
+///
+/// Both kernel modes return bit-identical masks for every input
+/// (including NaN/infinite coordinates and NaN epsilon):
+///
+///  * kScalar     — per-pair calls to the geometry/segment.h predicates,
+///                  the reference implementation.
+///  * kVectorized — branch-light orientation/distance passes over the
+///                  whole batch (written so the compiler can
+///                  auto-vectorize; all arithmetic is the same
+///                  double-precision expressions as the scalar
+///                  predicates, so every lane computes the identical
+///                  value), with the rare collinear/endpoint-touching
+///                  lanes resolved by the scalar predicate.
+///
+/// The scalar-vs-vectorized differential in tests/sweep_kernels_test.cc
+/// enforces the equivalence.
+
+/// out[i] = SegmentsIntersect(a[i], b[i]).
+void BatchSegmentsIntersect(SweepKernelMode mode, const Segment* a,
+                            const Segment* b, size_t n, uint8_t* out);
+
+/// out[i] = EvaluateExactPredicate(spec, a[i], b[i]). Order matters for
+/// kContains (a contains b), matching the scalar evaluator.
+void EvaluateExactPredicateBatch(SweepKernelMode mode,
+                                 const PredicateSpec& spec, const Segment* a,
+                                 const Segment* b, size_t n, uint8_t* out);
+
+}  // namespace sj
+
+#endif  // USJ_JOIN_PREDICATE_BATCH_H_

@@ -135,6 +135,7 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
   JoinStats stats = measurement.Finish();
   stats.output_count = sweep_stats.output_count;
   stats.max_sweep_bytes = sweep_stats.max_structure_bytes;
+  stats.sweep_strips_collapsed = sweep_stats.strips_collapsed;
   FillMemoryStats(*scope, &stats);
   return stats;
 }
@@ -253,6 +254,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
     CollectingSink sink;
     uint64_t output = 0;
     size_t max_sweep_bytes = 0;
+    bool strips_collapsed = false;
     double cpu_seconds = 0;
   };
   // Inline runs (same condition as ParallelFor's) stream pairs straight
@@ -313,6 +315,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
                               options.striped_strips, reader_a, reader_b,
                               emit);
         t.max_sweep_bytes = sweep_stats.max_structure_bytes;
+        t.strips_collapsed = sweep_stats.strips_collapsed;
         // A strict arbiter aborts here when the strip's active sets
         // still exceed the grant (the old hard SJ_CHECK); otherwise the
         // overshoot lands in the usage high-water marks.
@@ -323,6 +326,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
 
   uint64_t output = 0;
   size_t max_sweep = 0;
+  bool stats_strips_collapsed = false;
   double worker_cpu = 0;
   DiskStats shard_disk;
   for (const StripTask& t : tasks) {
@@ -331,6 +335,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
     }
     output += t.output;
     max_sweep = std::max(max_sweep, t.max_sweep_bytes);
+    stats_strips_collapsed = stats_strips_collapsed || t.strips_collapsed;
     worker_cpu += t.cpu_seconds;
     shard_disk += t.disk->stats();
     scope->FoldChild(*t.memory);
@@ -341,6 +346,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   if (pooled) stats.host_cpu_seconds += worker_cpu;
   stats.output_count = output;
   stats.max_sweep_bytes = max_sweep;
+  stats.sweep_strips_collapsed = stats_strips_collapsed;
   stats.partitions_total = map.strips();
   FillMemoryStats(*scope, &stats);
   return stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "join/predicate_batch.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -83,6 +84,7 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
   const uint64_t nbatches = (n + batch - 1) / batch;
   if (nbatches == 0) return RefineStats{};
 
+  const SweepKernelMode kernel_mode = ActiveSweepKernelMode();
   const MachineModel& machine = store_a.pager()->disk()->machine();
   std::vector<BatchShard> shards = MakeShards(nbatches, machine, 2);
   std::vector<CollectingSink> buffered(nbatches);
@@ -142,8 +144,15 @@ Result<RefineStats> RefinePairs(const std::vector<IdPair>& candidates,
                                 shard.disk.get(), shard.devices[1]));
         shard.pages_read = pages_a + pages_b;
         JoinSink* out = pooled ? static_cast<JoinSink*>(&buffered[i]) : sink;
+        // Whole-batch predicate evaluation (join/predicate_batch.h): one
+        // flat pass computes the match mask, then emission replays it in
+        // candidate order — bit-identical to the old per-pair
+        // EvaluateExactPredicate loop in both kernel modes.
+        std::vector<uint8_t> match(hi - lo);
+        EvaluateExactPredicateBatch(kernel_mode, predicate, geom_a.data(),
+                                    geom_b.data(), hi - lo, match.data());
         for (uint64_t k = 0; k < hi - lo; ++k) {
-          if (EvaluateExactPredicate(predicate, geom_a[k], geom_b[k])) {
+          if (match[k]) {
             out->Emit(candidates[lo + k].a, candidates[lo + k].b);
             shard.results++;
           }
@@ -180,6 +189,7 @@ Result<RefineStats> RefineTuples(
   const uint64_t nbatches = (n + batch - 1) / batch;
   if (nbatches == 0) return RefineStats{};
 
+  const SweepKernelMode kernel_mode = ActiveSweepKernelMode();
   const MachineModel& machine = stores[0]->pager()->disk()->machine();
   std::vector<BatchShard> shards = MakeShards(nbatches, machine, k);
   std::vector<CollectingTupleSink> buffered(nbatches);
@@ -215,15 +225,24 @@ Result<RefineStats> RefineTuples(
           shard.pages_read += pages;
         }
         TupleSink* out = pooled ? static_cast<TupleSink*>(&buffered[i]) : sink;
-        for (uint64_t t = lo; t < hi; ++t) {
-          const uint64_t row = t - lo;
-          bool all = true;
-          for (size_t x = 0; x < k && all; ++x) {
-            for (size_t y = x + 1; y < k && all; ++y) {
-              all = SegmentsIntersect(geom[x][row], geom[y][row]);
+        // Batched pairwise intersection: the columns are already
+        // contiguous Segment arrays, so each (x, y) input pair runs one
+        // BatchRectOverlap-style flat pass whose mask is ANDed into the
+        // per-row alive mask. The predicates are pure, so dropping the
+        // scalar loop's short-circuit cannot change which tuples survive.
+        const uint64_t rows = hi - lo;
+        std::vector<uint8_t> alive(rows, 1), pair_mask(rows);
+        for (size_t x = 0; x < k; ++x) {
+          for (size_t y = x + 1; y < k; ++y) {
+            BatchSegmentsIntersect(kernel_mode, geom[x].data(), geom[y].data(),
+                                   rows, pair_mask.data());
+            for (uint64_t row = 0; row < rows; ++row) {
+              alive[row] &= pair_mask[row];
             }
           }
-          if (all) {
+        }
+        for (uint64_t t = lo; t < hi; ++t) {
+          if (alive[t - lo]) {
             out->Emit(tuples[t]);
             shard.results++;
           }

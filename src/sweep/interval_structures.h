@@ -2,10 +2,12 @@
 #define USJ_SWEEP_INTERVAL_STRUCTURES_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "geometry/rect.h"
+#include "sweep/sweep_kernels.h"
 #include "util/logging.h"
 
 namespace sj {
@@ -25,58 +27,87 @@ inline const char* ToString(SweepStructureKind k) {
 
 /// Forward-Sweep interval structure (Brinkhoff et al. / Patel & DeWitt).
 ///
-/// The active set is a single array. A query walks the whole array,
-/// compacting away rectangles the sweep line has passed (yhi < sweep y)
-/// and reporting x-overlaps. Insertion is an append. Simple and cache
-/// friendly, but every query pays for the full active set.
+/// The active set is stored struct-of-arrays (parallel xlo/ylo/xhi/yhi/id
+/// lanes): a query classifies all lanes in one contiguous kernel pass
+/// (sweep/sweep_kernels.h — SIMD blocks, or the scalar fallback), then a
+/// branch-light compaction drops expired lanes while matches are emitted.
+/// Insertion is an append. Simple and cache friendly, but every query
+/// pays for the full active set.
+///
+/// Emit contract: QueryAndExpire reports matches *by value* — the emitted
+/// RectF is a lane copy, never a reference into the arrays the compaction
+/// is rewriting — and the emit callback must not reenter Insert or
+/// QueryAndExpire on this structure.
 class ForwardSweep {
  public:
   /// `extent` is unused (the structure is extent-agnostic); the parameter
   /// exists so both structures construct uniformly.
-  ForwardSweep(const RectF& extent, uint32_t strips) {
+  ForwardSweep(const RectF& extent, uint32_t strips)
+      : mode_(ActiveSweepKernelMode()) {
     (void)extent;
     (void)strips;
   }
   ForwardSweep() : ForwardSweep(RectF(), 0) {}
 
   void Insert(const RectF& r) {
-    active_.push_back(r);
+    active_.PushBack(r);
     inserts_since_purge_++;
     // Amortized self-purge: queries against this structure expire entries,
     // but a long one-sided stretch of input (e.g. a region covered by only
-    // one relation) would otherwise let passed rectangles pile up.
+    // one relation) would otherwise let passed rectangles pile up. The
+    // threshold tracks the live size, so the structure stays within a
+    // small constant factor of the truly-active set (pinned by
+    // sweep_structures_test's one-sided pile-up regressions).
     if (inserts_since_purge_ > active_.size() / 2 + 64) {
-      size_t keep = 0;
-      for (size_t i = 0; i < active_.size(); ++i) {
-        if (active_[i].yhi < r.ylo) continue;
-        active_[keep++] = active_[i];
-      }
-      active_.resize(keep);
+      PurgeExpired(r.ylo);
       inserts_since_purge_ = 0;
     }
   }
 
   /// Reports every active rectangle whose x-interval overlaps `q` to
-  /// `emit(const RectF&)`, expiring rectangles with yhi < q.ylo along the
-  /// way. `q.ylo` is the current sweep-line position.
+  /// `emit(const RectF&)` (a by-value lane copy — see the class emit
+  /// contract), expiring rectangles with yhi < q.ylo along the way.
+  /// `q.ylo` is the current sweep-line position.
   template <typename Emit>
   void QueryAndExpire(const RectF& q, Emit&& emit) {
+    const size_t n = active_.size();
+    mask_.resize(n);
+    kernels::ClassifySweepLanes(mode_, active_.xlo.data(), active_.xhi.data(),
+                                active_.yhi.data(), n, q.xlo, q.xhi, q.ylo,
+                                mask_.data());
     size_t keep = 0;
-    for (size_t i = 0; i < active_.size(); ++i) {
-      const RectF& r = active_[i];
-      if (r.yhi < q.ylo) continue;  // Expired: drop by not keeping.
-      if (keep != i) active_[keep] = r;
-      if (r.IntersectsX(q)) emit(active_[keep]);
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t m = mask_[i];
+      if ((m & kernels::kLaneKeep) == 0) continue;  // Expired: drop.
+      if (keep != i) active_.MoveLane(i, keep);
+      if ((m & kernels::kLaneMatch) != 0) emit(active_.Lane(keep));
       keep++;
     }
-    active_.resize(keep);
+    active_.Resize(keep);
+    // A query compacts the whole active set, which is exactly what the
+    // amortized purge would do — restart its insert counter.
+    inserts_since_purge_ = 0;
   }
 
   size_t ActiveCount() const { return active_.size(); }
+  /// Logical footprint in the paper's 20-byte-record units (Table 3's
+  /// "Sweep Structure" row) — identical for the scalar and vectorized
+  /// kernels by construction.
   size_t MemoryBytes() const { return active_.size() * sizeof(RectF); }
+  /// Forward-Sweep has no strips to collapse.
+  bool StripsCollapsed() const { return false; }
 
  private:
-  std::vector<RectF> active_;
+  void PurgeExpired(float y) {
+    mask_.resize(active_.size());
+    kernels::ExpiryKeepMask(mode_, active_.yhi.data(), active_.size(), y,
+                            mask_.data());
+    active_.CompactKept(mask_.data());
+  }
+
+  SweepKernelMode mode_;
+  SoaRects active_;
+  std::vector<uint8_t> mask_;
   size_t inserts_since_purge_ = 0;
 };
 
@@ -88,26 +119,49 @@ class ForwardSweep {
 /// reported exactly once: in the strip containing the left endpoint of the
 /// x-overlap region. On the paper's data this is 2-5x faster than
 /// Forward-Sweep because queries touch a small fraction of the active set.
+/// Per-strip lists are struct-of-arrays and scanned with the same lane
+/// kernels as ForwardSweep; the ForwardSweep emit contract (by-value
+/// emission, no reentry) applies here too.
+///
+/// Striping arithmetic is hardened against degenerate extents: the strip
+/// width is computed in double precision (a float-sized extent such as
+/// [-3e38, 3e38] used to overflow (xhi-xlo) to +inf, silently landing
+/// every rectangle in strip 0 — Forward-Sweep behaviour at Striped-Sweep
+/// cost, with no signal), non-finite or zero-width extents collapse to a
+/// single strip with StripsCollapsed() raised (surfaced via
+/// SweepRunStats::strips_collapsed and JoinStats), and StripIndex clamps
+/// before the float-to-integer cast so out-of-range and NaN coordinates
+/// deterministically land in a boundary strip instead of invoking UB —
+/// the same clamp-before-cast hardening GridHistogram::EstimateCountIn
+/// received.
 class StripedSweep {
  public:
   /// `extent` must span all x-coordinates that will be inserted or
   /// queried; values outside are clamped to the boundary strips.
   StripedSweep(const RectF& extent, uint32_t strips)
-      : xlo_(extent.xlo),
-        xhi_(extent.xhi),
+      : mode_(ActiveSweepKernelMode()),
+        xlo_(static_cast<double>(extent.xlo)),
         strips_(std::max<uint32_t>(1, strips)) {
-    width_ = (xhi_ - xlo_) / static_cast<float>(strips_);
-    if (!(width_ > 0.0f)) {
+    const double span =
+        static_cast<double>(extent.xhi) - static_cast<double>(extent.xlo);
+    if (!std::isfinite(xlo_) || !std::isfinite(span) || !(span > 0.0)) {
+      // Degenerate or non-finite extent: a meaningful striping does not
+      // exist. Collapse to one strip (= Forward-Sweep behaviour) and say
+      // so, instead of silently degrading.
+      collapsed_ = strips_ > 1;
       strips_ = 1;
-      width_ = 1.0f;
+      xlo_ = 0.0;
+      width_ = 1.0;
+    } else {
+      width_ = span / static_cast<double>(strips_);
     }
     lists_.resize(strips_);
   }
 
   void Insert(const RectF& r) {
     const uint32_t s0 = StripIndex(r.xlo);
-    const uint32_t s1 = StripIndex(r.xhi);
-    for (uint32_t s = s0; s <= s1; ++s) lists_[s].push_back(r);
+    const uint32_t s1 = std::max(s0, StripIndex(r.xhi));
+    for (uint32_t s = s0; s <= s1; ++s) lists_[s].PushBack(r);
     entries_ += s1 - s0 + 1;
     inserts_since_purge_++;
     // Amortized cleanup: strips a sweep never queries again would
@@ -118,54 +172,71 @@ class StripedSweep {
   template <typename Emit>
   void QueryAndExpire(const RectF& q, Emit&& emit) {
     const uint32_t s0 = StripIndex(q.xlo);
-    const uint32_t s1 = StripIndex(q.xhi);
+    const uint32_t s1 = std::max(s0, StripIndex(q.xhi));
     for (uint32_t s = s0; s <= s1; ++s) {
-      std::vector<RectF>& list = lists_[s];
+      SoaRects& list = lists_[s];
+      const size_t n = list.size();
+      if (n == 0) continue;
+      mask_.resize(n);
+      kernels::ClassifySweepLanes(mode_, list.xlo.data(), list.xhi.data(),
+                                  list.yhi.data(), n, q.xlo, q.xhi, q.ylo,
+                                  mask_.data());
       size_t keep = 0;
-      for (size_t i = 0; i < list.size(); ++i) {
-        const RectF r = list[i];
-        if (r.yhi < q.ylo) continue;  // Expired.
-        if (keep != i) list[keep] = r;
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t m = mask_[i];
+        if ((m & kernels::kLaneKeep) == 0) continue;  // Expired.
+        if (keep != i) list.MoveLane(i, keep);
+        if ((m & kernels::kLaneMatch) != 0 &&
+            // Dedup: report only in the strip holding the overlap's left
+            // edge.
+            StripIndex(std::max(q.xlo, list.xlo[keep])) == s) {
+          emit(list.Lane(keep));
+        }
         keep++;
-        if (!r.IntersectsX(q)) continue;
-        // Dedup: report only in the strip holding the overlap's left edge.
-        if (StripIndex(std::max(q.xlo, r.xlo)) == s) emit(r);
       }
-      entries_ -= list.size() - keep;
-      list.resize(keep);
+      entries_ -= n - keep;
+      list.Resize(keep);
     }
   }
 
   size_t ActiveCount() const { return entries_; }
+  /// Logical footprint: stored copies across strips, in 20-byte-record
+  /// units (identical for scalar and vectorized kernels).
   size_t MemoryBytes() const { return entries_ * sizeof(RectF); }
+  /// True when the requested striping could not be honored (degenerate or
+  /// non-finite extent) and the structure fell back to a single strip.
+  bool StripsCollapsed() const { return collapsed_; }
+  uint32_t strips() const { return strips_; }
 
  private:
   uint32_t StripIndex(float x) const {
-    const float rel = (x - xlo_) / width_;
-    if (!(rel > 0.0f)) return 0;
-    const uint32_t s = static_cast<uint32_t>(rel);
-    return std::min(s, strips_ - 1);
+    const double rel = (static_cast<double>(x) - xlo_) / width_;
+    // NaN coordinates and everything left of the extent land in strip 0;
+    // clamp *before* the integer cast — a huge rel cast straight to
+    // uint32_t is UB.
+    if (!(rel > 0.0)) return 0;
+    if (rel >= static_cast<double>(strips_)) return strips_ - 1;
+    return static_cast<uint32_t>(rel);
   }
 
   void Purge(float y) {
-    for (std::vector<RectF>& list : lists_) {
-      size_t keep = 0;
-      for (size_t i = 0; i < list.size(); ++i) {
-        if (list[i].yhi < y) continue;
-        if (keep != i) list[keep] = list[i];
-        keep++;
-      }
-      entries_ -= list.size() - keep;
-      list.resize(keep);
+    for (SoaRects& list : lists_) {
+      const size_t n = list.size();
+      if (n == 0) continue;
+      mask_.resize(n);
+      kernels::ExpiryKeepMask(mode_, list.yhi.data(), n, y, mask_.data());
+      entries_ -= n - list.CompactKept(mask_.data());
     }
     inserts_since_purge_ = 0;
   }
 
-  float xlo_;
-  float xhi_;
+  SweepKernelMode mode_;
+  double xlo_;
   uint32_t strips_;
-  float width_;
-  std::vector<std::vector<RectF>> lists_;
+  double width_ = 1.0;
+  bool collapsed_ = false;
+  std::vector<SoaRects> lists_;
+  std::vector<uint8_t> mask_;
   size_t entries_ = 0;  // Total stored copies across strips.
   size_t inserts_since_purge_ = 0;
 };

@@ -16,6 +16,10 @@ struct SweepRunStats {
   uint64_t output_count = 0;
   size_t max_structure_bytes = 0;
   size_t max_active = 0;
+  /// True when a StripedSweep fell back to a single strip because its
+  /// extent was degenerate or non-finite (see StripedSweep); the join ran
+  /// correctly but at Forward-Sweep cost.
+  bool strips_collapsed = false;
 };
 
 /// The plane-sweep join core shared by SSSJ, PBSM (per partition) and PQ.
@@ -58,6 +62,8 @@ SweepRunStats SweepJoinRun(SourceA& a, SourceB& b, Structure& active_a,
                                 active_a.ActiveCount() + active_b.ActiveCount());
     probe();
   }
+  stats.strips_collapsed =
+      active_a.StripsCollapsed() || active_b.StripsCollapsed();
   return stats;
 }
 

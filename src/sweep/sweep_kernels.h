@@ -1,0 +1,172 @@
+#ifndef USJ_SWEEP_SWEEP_KERNELS_H_
+#define USJ_SWEEP_SWEEP_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace sj {
+
+/// Which implementation the sweep/predicate kernels run.
+///
+///  * kScalar     — one lane at a time with branches: the reference
+///                  implementation, bit-identical to the pre-SoA code.
+///  * kVectorized — contiguous-lane SIMD blocks (AVX2 when the CPU has
+///                  it, else SSE2 / NEON, else a branch-free portable
+///                  loop the compiler can auto-vectorize).
+///
+/// Both produce identical lane masks for every input, including NaN,
+/// infinite and inverted coordinates (IEEE comparison semantics are
+/// preserved lane for lane); the scalar-vs-vectorized differential in
+/// tests/sweep_kernels_test.cc enforces this.
+enum class SweepKernelMode {
+  kScalar,
+  kVectorized,
+};
+
+/// The mode kernels run in, resolved once per process:
+///  1. builds with -DSJ_SCALAR_SWEEP_ONLY compile the SIMD paths out and
+///     always report kScalar;
+///  2. SetSweepKernelMode (tests, benches) overrides everything else;
+///  3. the SJ_SWEEP_KERNELS environment variable ("scalar" forces the
+///     fallback, anything else is ignored);
+///  4. default: kVectorized.
+SweepKernelMode ActiveSweepKernelMode();
+
+/// Test/bench hook: force a mode process-wide (no-op under
+/// SJ_SCALAR_SWEEP_ONLY, which has no vectorized path to select). Only
+/// call while no sweep is in flight; structures latch the mode when
+/// constructed.
+void SetSweepKernelMode(SweepKernelMode mode);
+
+/// Clears the SetSweepKernelMode override, back to env/default.
+void ResetSweepKernelMode();
+
+/// The instruction set the vectorized path uses on this machine:
+/// "avx2", "sse2", "neon", "portable", or "scalar-only" for
+/// SJ_SCALAR_SWEEP_ONLY builds.
+const char* SweepKernelIsa();
+
+namespace kernels {
+
+/// Lane classification bits produced by ClassifySweepLanes.
+inline constexpr uint8_t kLaneKeep = 1;   // yhi has not passed the sweep line
+inline constexpr uint8_t kLaneMatch = 2;  // kept AND x-intervals overlap
+
+/// Classifies `n` active-set lanes against the query rectangle `q` at
+/// sweep position q.ylo:
+///
+///   out[i] = (yhi[i] < qylo        ? 0 : kLaneKeep)
+///          | (kept && xlo[i] <= qxhi && qxlo <= xhi[i] ? kLaneMatch : 0)
+///
+/// NaN coordinates follow IEEE comparisons exactly as the scalar code
+/// did: a NaN yhi never expires, a NaN x endpoint never matches.
+void ClassifySweepLanes(SweepKernelMode mode, const float* xlo,
+                        const float* xhi, const float* yhi, size_t n,
+                        float qxlo, float qxhi, float qylo, uint8_t* out);
+
+/// Expiry-only form: out[i] = (yhi[i] < y) ? 0 : kLaneKeep. Used by the
+/// amortized self-purge passes.
+void ExpiryKeepMask(SweepKernelMode mode, const float* yhi, size_t n, float y,
+                    uint8_t* out);
+
+/// Batched MBR-overlap scan over an xlo-sorted entry list (the ST/BFS
+/// node-pairing kernel): tests lanes [0, n) against the query row
+/// (qxhi, qylo, qyhi), writing
+///
+///   out[k] = qylo <= yhi[k] && ylo[k] <= qyhi
+///
+/// and returning the scan end — the index of the first lane with
+/// !(xlo[k] <= qxhi), after which the caller's sorted-input invariant
+/// guarantees no further lane can overlap (out[k] is only valid below
+/// the returned end). The caller guarantees the full x test's other half
+/// (qxlo <= xhi[k]) by construction, exactly as the scalar sweep did.
+size_t BatchRectOverlap(SweepKernelMode mode, const float* xlo,
+                        const float* ylo, const float* yhi, size_t n,
+                        float qxhi, float qylo, float qyhi, uint8_t* out);
+
+}  // namespace kernels
+
+/// Struct-of-arrays rectangle storage: five parallel arrays so the
+/// kernels stream contiguous lanes instead of striding over 20-byte
+/// records. Logical accounting stays in RectF units (20 bytes/lane) so
+/// Table-3 sweep-structure numbers are unchanged.
+struct SoaRects {
+  std::vector<float> xlo, ylo, xhi, yhi;
+  std::vector<ObjectId> id;
+
+  size_t size() const { return id.size(); }
+  bool empty() const { return id.empty(); }
+
+  void Clear() {
+    xlo.clear();
+    ylo.clear();
+    xhi.clear();
+    yhi.clear();
+    id.clear();
+  }
+
+  void Reserve(size_t n) {
+    xlo.reserve(n);
+    ylo.reserve(n);
+    xhi.reserve(n);
+    yhi.reserve(n);
+    id.reserve(n);
+  }
+
+  void PushBack(const RectF& r) {
+    xlo.push_back(r.xlo);
+    ylo.push_back(r.ylo);
+    xhi.push_back(r.xhi);
+    yhi.push_back(r.yhi);
+    id.push_back(r.id);
+  }
+
+  /// Reassembles lane `i` as a value — emits never hand out references
+  /// into arrays a compaction may be rewriting.
+  RectF Lane(size_t i) const {
+    return RectF(xlo[i], ylo[i], xhi[i], yhi[i], id[i]);
+  }
+
+  void MoveLane(size_t from, size_t to) {
+    xlo[to] = xlo[from];
+    ylo[to] = ylo[from];
+    xhi[to] = xhi[from];
+    yhi[to] = yhi[from];
+    id[to] = id[from];
+  }
+
+  void Resize(size_t n) {
+    xlo.resize(n);
+    ylo.resize(n);
+    xhi.resize(n);
+    yhi.resize(n);
+    id.resize(n);
+  }
+
+  void Assign(const RectF* rects, size_t n) {
+    Clear();
+    Reserve(n);
+    for (size_t i = 0; i < n; ++i) PushBack(rects[i]);
+  }
+
+  /// Compacts lanes whose mask byte has kLaneKeep set, preserving order.
+  /// Returns the new size.
+  size_t CompactKept(const uint8_t* mask) {
+    size_t keep = 0;
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask[i] & kernels::kLaneKeep) == 0) continue;
+      if (keep != i) MoveLane(i, keep);
+      keep++;
+    }
+    Resize(keep);
+    return keep;
+  }
+};
+
+}  // namespace sj
+
+#endif  // USJ_SWEEP_SWEEP_KERNELS_H_

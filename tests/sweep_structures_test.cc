@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "datagen/synthetic.h"
@@ -132,6 +134,151 @@ TEST(StripedSweep, AmortizedPurgeBoundsStaleEntries) {
   // All but the most recent handful have expired at y=100.
   sweep.Insert(RectF(95, 100, 96, 100, 999999));
   EXPECT_LT(sweep.ActiveCount(), 5000u);
+}
+
+TEST(StripedSweep, HugeExtentKeepsStriping) {
+  // Regression: a float-sized extent used to overflow (xhi - xlo) to inf
+  // in float, making every strip index 0 — silent Forward-Sweep
+  // behaviour. The width is now computed in double, so striping survives
+  // the full float range.
+  const RectF region(-3e38f, 0, 3e38f, 10);
+  StripedSweep sweep(region, 16);
+  EXPECT_FALSE(sweep.StripsCollapsed());
+  EXPECT_EQ(sweep.strips(), 16u);
+  // A rectangle spanning the whole extent must land in every strip; with
+  // the overflowed width it landed only in strip 0.
+  sweep.Insert(RectF(-3e38f, 0, 3e38f, 10, 1));
+  EXPECT_EQ(sweep.ActiveCount(), 16u);
+  // And the join over such an extent is still correct.
+  std::vector<RectF> a = {RectF(-3e38f, 1, -2e38f, 3, 1),
+                          RectF(2e38f, 1, 3e38f, 3, 2)};
+  std::vector<RectF> b = {RectF(-2.5e38f, 2, -1e38f, 4, 3),
+                          RectF(1e38f, 2, 2.5e38f, 4, 4)};
+  EXPECT_EQ(SweepPairs<StripedSweep>(a, b, region, 16),
+            BruteForcePairs(a, b));
+}
+
+TEST(StripedSweep, NonFiniteExtentCollapsesWithSignal) {
+  const float inf = std::numeric_limits<float>::infinity();
+  StripedSweep sweep(RectF(-inf, 0, inf, 10), 64);
+  EXPECT_TRUE(sweep.StripsCollapsed());
+  EXPECT_EQ(sweep.strips(), 1u);
+  // Collapsed means Forward-Sweep behaviour, not wrong answers.
+  sweep.Insert(RectF(10, 0, 20, 10, 1));
+  int hits = 0;
+  sweep.QueryAndExpire(RectF(15, 1, 25, 2, 2), [&](const RectF&) { hits++; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(StripedSweep, DegenerateExtentReportsCollapse) {
+  EXPECT_TRUE(StripedSweep(RectF(5, 0, 5, 10), 100).StripsCollapsed());
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(StripedSweep(RectF(nan, 0, nan, 10), 8).StripsCollapsed());
+  // Inverted x extent is degenerate too.
+  EXPECT_TRUE(StripedSweep(RectF(10, 0, 0, 10), 8).StripsCollapsed());
+  // A single requested strip is exactly what a degenerate extent degrades
+  // to — nothing was lost, so no collapse is flagged.
+  EXPECT_FALSE(StripedSweep(RectF(5, 0, 5, 10), 1).StripsCollapsed());
+  EXPECT_FALSE(StripedSweep(RectF(0, 0, 10, 10), 8).StripsCollapsed());
+}
+
+TEST(SweepJoin, RunStatsSurfaceStripCollapse) {
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<RectF> a = {RectF(0, 0, 1, 1, 1)};
+  std::vector<RectF> b = {RectF(0, 0, 1, 1, 2)};
+  VectorRectSource sa(&a), sb(&b);
+  {
+    StripedSweep active_a(RectF(-inf, 0, inf, 1), 64);
+    StripedSweep active_b(RectF(-inf, 0, inf, 1), 64);
+    const SweepRunStats stats = SweepJoinRun(
+        sa, sb, active_a, active_b, [](const RectF&, const RectF&) {}, [] {});
+    EXPECT_TRUE(stats.strips_collapsed);
+  }
+  VectorRectSource sa2(&a), sb2(&b);
+  {
+    StripedSweep active_a(RectF(0, 0, 10, 1), 64);
+    StripedSweep active_b(RectF(0, 0, 10, 1), 64);
+    const SweepRunStats stats = SweepJoinRun(
+        sa2, sb2, active_a, active_b, [](const RectF&, const RectF&) {},
+        [] {});
+    EXPECT_FALSE(stats.strips_collapsed);
+  }
+}
+
+TEST(StripedSweep, NaNCoordinatesAreDeterministic) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const RectF region(0, 0, 100, 100);
+  StripedSweep sweep(region, 8);
+  // NaN x lands deterministically in strip 0 (clamp-before-cast; the raw
+  // float-to-uint32 cast was UB).
+  sweep.Insert(RectF(nan, 0, nan, 100, 1));
+  EXPECT_EQ(sweep.ActiveCount(), 1u);
+  int hits = 0;
+  sweep.QueryAndExpire(RectF(0, 1, 100, 2, 2), [&](const RectF&) { hits++; });
+  // A NaN x endpoint never matches (IEEE comparisons are false), exactly
+  // the scalar semantics.
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(sweep.ActiveCount(), 1u);  // NaN never expires either (yhi ok).
+  // NaN query coordinates are deterministic too: strip 0, no matches.
+  sweep.QueryAndExpire(RectF(nan, 1, nan, 2, 3), [&](const RectF&) { hits++; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ForwardSweep, EmittedRectsAreStableValuesDuringCompaction) {
+  // Regression: QueryAndExpire used to emit a reference into the vector
+  // it was compacting in the same loop; storing the emitted rects while
+  // expiry shifts lanes must observe the correct values.
+  ForwardSweep sweep;
+  std::vector<RectF> expect;
+  for (int i = 0; i < 32; ++i) {
+    if (i % 2 == 0) {
+      // Expired by the query below, forcing compaction shifts ahead of
+      // every live lane.
+      sweep.Insert(RectF(0, 0, 1, 1, static_cast<ObjectId>(1000 + i)));
+    } else {
+      const RectF r(static_cast<float>(i), 0, static_cast<float>(i) + 0.5f,
+                    50, static_cast<ObjectId>(i));
+      sweep.Insert(r);
+      expect.push_back(r);
+    }
+  }
+  std::vector<RectF> got;
+  sweep.QueryAndExpire(RectF(0, 10, 40, 11, 999),
+                       [&](const RectF& r) { got.push_back(r); });
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expect[i].id);
+    EXPECT_EQ(got[i].xlo, expect[i].xlo);
+    EXPECT_EQ(got[i].ylo, expect[i].ylo);
+    EXPECT_EQ(got[i].xhi, expect[i].xhi);
+    EXPECT_EQ(got[i].yhi, expect[i].yhi);
+  }
+}
+
+TEST(ForwardSweep, AmortizedPurgeBoundsOneSidedPileUp) {
+  // A long stretch of input from one relation only: no queries run
+  // against this structure, so only the amortized self-purge keeps
+  // passed rectangles from piling up. Each rect here is dead before the
+  // next insert, so the bound is the purge threshold itself
+  // (~2*live + 128), far below the 100k inserted.
+  ForwardSweep sweep;
+  for (int i = 0; i < 100000; ++i) {
+    const float y = static_cast<float>(i) * 0.01f;
+    sweep.Insert(RectF(0, y, 1, y + 0.005f, static_cast<ObjectId>(i)));
+  }
+  EXPECT_LT(sweep.ActiveCount(), 300u);
+  EXPECT_LT(sweep.MemoryBytes(), 300u * sizeof(RectF));
+}
+
+TEST(StripedSweep, AmortizedPurgeBoundsOneSidedPileUp) {
+  const RectF region(0, 0, 100, 1000);
+  StripedSweep sweep(region, 10);
+  for (int i = 0; i < 100000; ++i) {
+    const float y = static_cast<float>(i) * 0.01f;
+    sweep.Insert(RectF(1, y, 2, y + 0.005f, static_cast<ObjectId>(i)));
+  }
+  EXPECT_LT(sweep.ActiveCount(), 300u);
+  EXPECT_LT(sweep.MemoryBytes(), 300u * sizeof(RectF));
 }
 
 TEST(SweepJoin, TracksMaxStructureSize) {
