@@ -2,6 +2,7 @@
 #define USJ_CORE_COST_MODEL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "geometry/rect.h"
@@ -154,6 +155,39 @@ class CostModel {
     return static_cast<double>(lanes) * ns * 1e-9;
   }
 
+  // External-sort CPU terms. Sorting is the one join phase whose CPU
+  // scales down with worker threads (run formation parallelizes; the
+  // merge stays on the coordinator), so the planner prices it
+  // separately: with threads, sort-heavy streaming plans get cheaper and
+  // the kAuto streaming-vs-index crossover shifts toward SSSJ.
+
+  /// Comparison cost of the sort pipeline, calibrated against
+  /// bench_external_sort on the TIGER ladder: one branchy compare plus
+  /// the record move it orders.
+  static constexpr double kSortNsPerCompare = 4.0;
+
+  /// Modeled seconds of sort CPU for `records` records sorted within
+  /// `sort_memory_bytes`, with `threads` workers forming runs.
+  /// Formation does N*log2(run_records) compares spread across threads;
+  /// each merge pass does N*log2(fan_in) compares (the loser tree's
+  /// leaf-to-root path) on the coordinator.
+  double SortCpuSeconds(uint64_t records, size_t sort_memory_bytes,
+                        uint32_t threads) const {
+    if (records == 0) return 0.0;
+    const RunLayout layout = RunLayout::For(sort_memory_bytes, sizeof(RectF));
+    const double n = static_cast<double>(records);
+    const double run = static_cast<double>(
+        std::min<uint64_t>(records, layout.run_records));
+    const uint64_t runs =
+        (records + layout.run_records - 1) / layout.run_records;
+    const double form = n * Log2(run) /
+                        static_cast<double>(std::max<uint32_t>(1, threads));
+    const double merge =
+        n * Log2(static_cast<double>(layout.fan_in)) *
+        static_cast<double>(RunLayout::MergePasses(runs, layout.fan_in));
+    return (form + merge) * kSortNsPerCompare * 1e-9 * machine_.cpu_slowdown;
+  }
+
   // Per-operator terms for pipeline plans (src/op/, PipelineQuery): each
   // prices one physical operator so Explain() can annotate the whole
   // operator tree with the same arithmetic the join terms use.
@@ -201,6 +235,8 @@ class CostModel {
   const MachineModel& machine() const { return machine_; }
 
  private:
+  static double Log2(double v) { return v > 1.0 ? std::log2(v) : 0.0; }
+
   MachineModel machine_;
 };
 

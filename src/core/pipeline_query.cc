@@ -713,7 +713,8 @@ Result<PipelineStats> PipelineQuery::RunDirect(RowSink* sink) {
           std::unique_ptr<RectResolver> resolver,
           RectResolver::Build(join_inputs[i], &op_disk, arbiter.get(),
                               ctx.storage, ctx.prefetch,
-                              "pipeline.in" + std::to_string(i)));
+                              "pipeline.in" + std::to_string(i),
+                              SortConfigOf(options_)));
       resolver_ptrs.push_back(resolver.get());
       resolvers.push_back(std::move(resolver));
     }

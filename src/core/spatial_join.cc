@@ -6,6 +6,7 @@
 
 #include "core/join_query.h"
 #include "join/partition_plan.h"
+#include "sort/sort_config.h"
 
 namespace sj {
 
@@ -66,9 +67,18 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
         est_candidates, a.features()->data_pages(), b.features()->data_pages(),
         options.refine_batch_pairs);
   }
+  // Sort CPU is the one term that scales down with worker threads (run
+  // formation parallelizes), so with threads the streaming plans get
+  // cheaper relative to the index traversals.
+  const uint32_t sort_threads =
+      options.sort_parallel_runs && !SortSerialOnly()
+          ? std::max<uint32_t>(1, options.num_threads)
+          : 1;
+  decision.sort_cpu_seconds = cost_model_.SortCpuSeconds(
+      a.count() + b.count(), sort_grant, sort_threads);
   decision.stream_cost_seconds =
       cost_model_.SSSJSeconds(total_pages, sort_grant) +
-      decision.refine_cost_seconds;
+      decision.sort_cpu_seconds + decision.refine_cost_seconds;
 
   // PBSM partitioning pre-plan, so Explain() reports the grid execution
   // would use. The partition-count formula is shared with PBSMJoin; when
@@ -159,14 +169,18 @@ PlanDecision SpatialJoiner::Plan(const JoinInput& a, const JoinInput& b,
         static_cast<uint64_t>(frac_a * static_cast<double>(a.pages())));
     max_frac = std::max(max_frac, frac_a);
   } else {
-    index_cost += cost_model_.SSSJSeconds(a.pages(), sort_grant);
+    index_cost += cost_model_.SSSJSeconds(a.pages(), sort_grant) +
+                  cost_model_.SortCpuSeconds(a.count(), sort_grant,
+                                             sort_threads);
   }
   if (b.indexed()) {
     index_cost += cost_model_.PQSeconds(
         static_cast<uint64_t>(frac_b * static_cast<double>(b.pages())));
     max_frac = std::max(max_frac, frac_b);
   } else {
-    index_cost += cost_model_.SSSJSeconds(b.pages(), sort_grant);
+    index_cost += cost_model_.SSSJSeconds(b.pages(), sort_grant) +
+                  cost_model_.SortCpuSeconds(b.count(), sort_grant,
+                                             sort_threads);
   }
   decision.touched_fraction = max_frac;
   decision.index_cost_seconds = index_cost;

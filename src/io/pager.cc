@@ -59,6 +59,17 @@ Status Pager::WriteRun(PageId first, uint32_t npages, const void* buf) {
   return s;
 }
 
+void Pager::ChargeRead(PageId first, uint32_t npages) {
+  if (npages == 0) return;
+  disk_->Read(device_, first, npages);
+}
+
+void Pager::ChargeWrite(PageId first, uint32_t npages) {
+  if (npages == 0) return;
+  disk_->Write(device_, first, npages);
+  allocated_ = std::max<uint64_t>(allocated_, first + npages);
+}
+
 PageId Pager::Allocate(uint32_t npages) {
   const uint64_t first = allocated_;
   allocated_ += npages;

@@ -40,6 +40,18 @@ class Pager {
   /// Reserves `npages` consecutive new pages; returns the first id.
   PageId Allocate(uint32_t npages);
 
+  /// Charge-only halves of ReadRun/WriteRun: issue the modeled DiskModel
+  /// request without moving bytes. The deterministic-I/O contract (same
+  /// modeled io_seconds at any thread count) requires charges to happen
+  /// on the consumer/producer thread in serial order even when the byte
+  /// transfer ran early or late on a worker — parallel run formation
+  /// replays the serial charge sequence after its workers moved the
+  /// bytes, and a write-behind writer charges at flush submission while
+  /// the transfer completes in the background. ChargeWrite advances the
+  /// allocation watermark like WriteRun.
+  void ChargeRead(PageId first, uint32_t npages);
+  void ChargeWrite(PageId first, uint32_t npages);
+
   /// Releases the storage backend; the pager must not be used afterwards.
   /// Used by RehomePager() to move a finished file between DiskModels.
   std::unique_ptr<StorageBackend> ReleaseBackend() {

@@ -12,23 +12,39 @@
 
 namespace sj {
 
+// The mutex guards only the page *table*; the 8 KB copies run outside
+// it. Safe because a page's allocation is created once and never freed
+// or replaced while the backend lives (the table only grows, and vector
+// reallocation moves the unique_ptrs, not the blocks they own), so a
+// pointer fetched under the lock stays valid. Concurrent access to the
+// *same* page's bytes remains the caller's contract, as before — this
+// only stops distinct-page readers and writers (parallel run formation,
+// prefetch, write-behind) from serializing on one lock per 8 KB copy.
 Status MemoryBackend::ReadPage(uint64_t page, void* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (page >= pages_.size() || pages_[page] == nullptr) {
+  const uint8_t* src = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page < pages_.size()) src = pages_[page].get();
+  }
+  if (src == nullptr) {
     std::memset(buf, 0, kPageSize);
     return Status::OK();
   }
-  std::memcpy(buf, pages_[page].get(), kPageSize);
+  std::memcpy(buf, src, kPageSize);
   return Status::OK();
 }
 
 Status MemoryBackend::WritePage(uint64_t page, const void* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (page >= pages_.size()) pages_.resize(page + 1);
-  if (pages_[page] == nullptr) {
-    pages_[page] = std::make_unique<uint8_t[]>(kPageSize);
+  uint8_t* dst = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page >= pages_.size()) pages_.resize(page + 1);
+    if (pages_[page] == nullptr) {
+      pages_[page] = std::make_unique<uint8_t[]>(kPageSize);
+    }
+    dst = pages_[page].get();
   }
-  std::memcpy(pages_[page].get(), buf, kPageSize);
+  std::memcpy(dst, buf, kPageSize);
   return Status::OK();
 }
 

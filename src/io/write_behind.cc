@@ -1,0 +1,117 @@
+#include "io/write_behind.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace sj {
+
+BlockWriteBehind::BlockWriteBehind(Pager* pager, ThreadPool* pool)
+    : shared_(std::make_shared<Shared>()), pool_(pool) {
+  shared_->pager = pager;
+}
+
+BlockWriteBehind::~BlockWriteBehind() {
+  {
+    std::unique_lock<std::mutex> lk(shared_->mu);
+    // Claim-cancel anything still queued so no task starts a write against
+    // a dying pager, then wait out a write already running. A cancelled
+    // flush only happens on the Abandon() unwind path, where the stream is
+    // dead and its pages are never read.
+    if (shared_->state == State::kQueued) shared_->state = State::kDone;
+    shared_->cv.wait(lk,
+                     [this] { return shared_->state != State::kRunning; });
+    shared_->stop = true;
+    shared_->cv.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+bool BlockWriteBehind::TryClaim(Shared* s) {
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->state != State::kQueued) return false;
+  s->state = State::kRunning;
+  return true;
+}
+
+void BlockWriteBehind::DoWrite(Shared* s) {
+  WallTimer wall;
+  StorageBackend* backend = s->pager->backend();
+  const uint8_t* in = s->buf.data();
+  Status status;
+  for (uint32_t i = 0; i < s->npages && status.ok(); ++i) {
+    status = backend->WritePage(s->first + i, in + i * kPageSize);
+  }
+  const double elapsed = wall.Elapsed();
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->wall_seconds = elapsed;
+  s->status = std::move(status);
+  s->state = State::kDone;
+  s->cv.notify_all();
+}
+
+void BlockWriteBehind::ThreadLoop(const std::shared_ptr<Shared>& s) {
+  std::unique_lock<std::mutex> lk(s->mu);
+  for (;;) {
+    s->cv.wait(lk, [&] { return s->stop || s->state == State::kQueued; });
+    if (s->state == State::kQueued) {
+      s->state = State::kRunning;
+      lk.unlock();
+      DoWrite(s.get());
+      lk.lock();
+    } else if (s->stop) {
+      return;
+    }
+  }
+}
+
+void BlockWriteBehind::Start(PageId first, uint32_t npages,
+                             std::vector<uint8_t>* buf) {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    SJ_CHECK(shared_->state == State::kIdle)
+        << "BlockWriteBehind::Start with a flush in flight";
+    shared_->first = first;
+    shared_->npages = npages;
+    shared_->buf.swap(*buf);
+    shared_->status = Status::OK();
+    shared_->wall_seconds = 0.0;
+    shared_->state = State::kQueued;
+  }
+  if (pool_ != nullptr) {
+    std::shared_ptr<Shared> s = shared_;
+    pool_->Submit([s] {
+      if (TryClaim(s.get())) DoWrite(s.get());
+    });
+  } else {
+    if (!thread_.joinable()) {
+      std::shared_ptr<Shared> s = shared_;
+      thread_ = std::thread([s] { ThreadLoop(s); });
+    }
+    shared_->cv.notify_all();
+  }
+}
+
+Status BlockWriteBehind::Finish() {
+  if (TryClaim(shared_.get())) DoWrite(shared_.get());
+  std::unique_lock<std::mutex> lk(shared_->mu);
+  SJ_CHECK(shared_->state != State::kIdle)
+      << "BlockWriteBehind::Finish without Start";
+  shared_->cv.wait(lk, [this] { return shared_->state == State::kDone; });
+  // The modeled charge was already issued at Start by the producer; only
+  // the measured wall time lands here.
+  shared_->pager->disk()->AddIoWall(shared_->wall_seconds);
+  Status status = std::move(shared_->status);
+  shared_->status = Status::OK();
+  shared_->state = State::kIdle;
+  return status;
+}
+
+bool BlockWriteBehind::in_flight() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state != State::kIdle;
+}
+
+}  // namespace sj

@@ -1,0 +1,110 @@
+#ifndef USJ_IO_WRITE_BEHIND_H_
+#define USJ_IO_WRITE_BEHIND_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/pager.h"
+#include "util/status.h"
+
+namespace sj {
+
+class ThreadPool;
+
+/// How (and whether) stream writers overlap flushing a filled block with
+/// filling the next one. Carried alongside JoinOptions into the writer
+/// adoption points (external-sort run formation and merge output, PQ
+/// spill runs); the read-side twin is PrefetchContext.
+struct WriteBehindContext {
+  /// Off by default: write-behind only moves *when* bytes land, never
+  /// which requests are charged, but it spends an extra block buffer and
+  /// a background task per writer.
+  bool enabled = false;
+  /// Flushes are submitted here when set (the service's shared workers);
+  /// null makes each writer lazily own one dedicated thread. Not owned;
+  /// must outlive the writers using it.
+  ThreadPool* pool = nullptr;
+};
+
+/// Double-buffering engine for StreamWriter: writes a filled block to the
+/// pager's backend on a background task while the producer fills the next
+/// block. The mirror image of BlockPrefetcher, with the same claim/finish
+/// state machine.
+///
+/// The deterministic-output contract of the repo (same results and same
+/// modeled io_seconds at any thread count) is preserved by splitting the
+/// two halves of a write the same way prefetch splits a read:
+///   - the *modeled charge* (DiskModel::Write) is issued by the caller on
+///     the producer thread at flush submission — exactly when and where
+///     the synchronous path would have charged it;
+///   - the *byte transfer* (StorageBackend::WritePage) happens later, on
+///     the background task, and is wall-timed; the measured wall lands on
+///     the pager's DiskModel at Finish().
+///
+/// A flush submitted to a ThreadPool is *claimable*: Finish() on a flush
+/// the pool has not started yet runs it inline on the producer, so a
+/// producer never blocks on pool scheduling. The pager must outlive the
+/// engine; only the pager's backend is touched off-thread (page-granular
+/// concurrent access is safe on both backends, and nothing reads a
+/// stream's pages until its writer has Finished).
+class BlockWriteBehind {
+ public:
+  BlockWriteBehind(Pager* pager, ThreadPool* pool);
+  ~BlockWriteBehind();
+
+  BlockWriteBehind(const BlockWriteBehind&) = delete;
+  BlockWriteBehind& operator=(const BlockWriteBehind&) = delete;
+
+  /// Swaps `*buf` into the engine and begins writing its first `npages`
+  /// pages to pages [first, first+npages) of the pager's backend. The
+  /// caller must already have allocated the extent and issued the modeled
+  /// write charge (Pager::ChargeWrite); only bytes move here. On return
+  /// `*buf` holds the engine's previous buffer, free for reuse (empty on
+  /// the first call). Requires no flush in flight.
+  void Start(PageId first, uint32_t npages, std::vector<uint8_t>* buf);
+
+  /// Waits for (or claims and runs) the in-flight flush, adds its
+  /// measured wall time to the pager's DiskModel, and returns the backend
+  /// write status.
+  Status Finish();
+
+  /// True between Start() and Finish().
+  bool in_flight() const;
+
+ private:
+  enum class State { kIdle, kQueued, kRunning, kDone };
+
+  /// Everything the background task touches, shared so a queued pool task
+  /// can outlive the engine harmlessly (it finds the flush already
+  /// claimed/cancelled and backs off without touching the pager).
+  struct Shared {
+    Pager* pager = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    State state = State::kIdle;
+    bool stop = false;  // Dedicated-thread shutdown flag.
+    PageId first = 0;
+    uint32_t npages = 0;
+    std::vector<uint8_t> buf;
+    Status status;
+    double wall_seconds = 0.0;
+  };
+
+  /// CAS kQueued -> kRunning under the lock; the winner runs the flush.
+  static bool TryClaim(Shared* s);
+  /// The byte transfer; call only after a successful TryClaim.
+  static void DoWrite(Shared* s);
+  static void ThreadLoop(const std::shared_ptr<Shared>& s);
+
+  std::shared_ptr<Shared> shared_;
+  ThreadPool* pool_;
+  std::thread thread_;  // Lazily started when pool_ == nullptr.
+};
+
+}  // namespace sj
+
+#endif  // USJ_IO_WRITE_BEHIND_H_

@@ -47,6 +47,9 @@ std::string PlanDecision::Describe() const {
   if (refine_cost_seconds > 0.0) {
     os << ", incl. refine " << refine_cost_seconds << " s";
   }
+  if (sort_cpu_seconds > 0.0) {
+    os << ", incl. sort CPU " << sort_cpu_seconds << " s";
+  }
   if (pbsm_partitions > 0) {
     os << "; PBSM " << (pbsm_adaptive ? "adaptive" : "fixed") << " "
        << pbsm_tiles_per_axis << "x" << pbsm_tiles_per_axis << " grid";
@@ -76,6 +79,9 @@ std::vector<std::pair<std::string, std::string>> PlanDecision::ToKeyValues()
   kv.emplace_back("index_cost_seconds", num(index_cost_seconds));
   if (refine_cost_seconds > 0.0) {
     kv.emplace_back("refine_cost_seconds", num(refine_cost_seconds));
+  }
+  if (sort_cpu_seconds > 0.0) {
+    kv.emplace_back("sort_cpu_seconds", num(sort_cpu_seconds));
   }
   if (pbsm_partitions > 0) {
     kv.emplace_back("pbsm.adaptive", pbsm_adaptive ? "true" : "false");
@@ -271,7 +277,8 @@ Result<PreparedSource> PrepareSource(CompiledPlan& plan,
                          prepared.sorted.get(),
                          plan.options.memory_bytes / 2,
                          plan.arbiter.get(),
-                         PrefetchContextOf(plan.options)));
+                         PrefetchContextOf(plan.options),
+                         SortConfigOf(plan.options)));
       prepared.source = std::make_unique<SortedStreamSource>(sorted);
       return prepared;
     }

@@ -100,6 +100,13 @@ struct PlanDecision {
   /// same for every filter algorithm, so it never flips the choice, but
   /// the totals stay honest end-to-end estimates.
   double refine_cost_seconds = 0.0;
+  /// Estimated external-sort CPU of the streaming plan (run-formation
+  /// compares spread over the sort threads plus coordinator merge
+  /// passes, at the granted sort memory). Included in
+  /// stream_cost_seconds — and per non-indexed side in
+  /// index_cost_seconds — so worker threads shift the kAuto crossover
+  /// toward the streaming plans.
+  double sort_cpu_seconds = 0.0;
   /// The PBSM partitioning pre-plan under the query's options, so
   /// Explain() reports the grid execution would use: adaptive or fixed,
   /// the (base) tiles per axis, and the partition count. When adaptive

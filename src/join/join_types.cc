@@ -100,6 +100,11 @@ std::vector<std::pair<std::string, std::string>> JoinStats::ToKeyValues()
   if (sweep_strips_collapsed) {
     kv.emplace_back("sweep_strips_collapsed", "1");
   }
+  if (sort_merge_fan_in > 0) {
+    kv.emplace_back("sort_runs_parallel", std::to_string(sort_parallel_units));
+    kv.emplace_back("merge_fan_in", std::to_string(sort_merge_fan_in));
+    kv.emplace_back("merge_passes", std::to_string(sort_merge_passes));
+  }
   if (partitions_total > 0) {
     kv.emplace_back("partitions_total", std::to_string(partitions_total));
     kv.emplace_back("partitions_overflowed",

@@ -234,6 +234,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
     uint64_t part_bytes = 0;
     bool overflowed = false;
     double cpu_seconds = 0;
+    SortStats sort_stats;
   };
   // Matches ParallelFor's inline condition: when tasks run one after
   // another on this thread, pairs stream straight to the caller's sink
@@ -327,16 +328,20 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
               std::unique_ptr<Pager> scratch,
               MakePager(options.storage.get(), t.disk.get(),
                         "pbsm.overflow." + std::to_string(i)));
+          // Partitions are the parallel unit; their overflow sorts stay
+          // single-threaded but keep the write-behind/fan-in knobs.
+          SortConfig overflow_sort = SortConfigOf(options);
+          overflow_sort.threads = 1;
           SJ_ASSIGN_OR_RETURN(
               StreamRange sa_range,
               SortRectsByYLo(t.range_a, scratch.get(), scratch.get(),
                              options.memory_bytes / 2, t.memory.get(),
-                             prefetch));
+                             prefetch, overflow_sort, &t.sort_stats));
           SJ_ASSIGN_OR_RETURN(
               StreamRange sb_range,
               SortRectsByYLo(t.range_b, scratch.get(), scratch.get(),
                              options.memory_bytes / 2, t.memory.get(),
-                             prefetch));
+                             prefetch, overflow_sort, &t.sort_stats));
           MemoryGrant sweep_grant = t.memory->AcquireShrinkable(
               grants::kSweep, t.part_bytes, /*floor_bytes=*/0);
           PrefetchingStreamReader<RectF> reader_a(
@@ -362,7 +367,9 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   bool strips_collapsed = false;
   double worker_cpu = 0;
   DiskStats shard_disk;
+  SortStats folded_sort;
   for (const PartitionTask& t : tasks) {
+    folded_sort.Fold(t.sort_stats);
     if (pooled) {
       for (const IdPair& pair : t.sink.pairs()) sink->Emit(pair.a, pair.b);
     }
@@ -386,6 +393,7 @@ Result<JoinStats> PBSMJoin(const DatasetRef& a, const DatasetRef& b,
   stats.max_sweep_bytes = max_sweep;
   stats.sweep_strips_collapsed = strips_collapsed;
   stats.partitions_total = p;
+  stats.FoldSortStats(folded_sort);
   stats.partitions_overflowed = overflowed;
   stats.max_partition_bytes = max_partition_bytes;
   stats.pbsm_tiles_x = grid.tiles_x();

@@ -84,11 +84,13 @@ Result<JoinStats> PQJoinIndexStream(const RTree& a, const DatasetRef& b,
                       MakePager(options.storage.get(), disk, "pq.sort.runs"));
   SJ_ASSIGN_OR_RETURN(auto sorted,
                       MakePager(options.storage.get(), disk, "pq.sort.out"));
+  SortStats sort_stats;
   SJ_ASSIGN_OR_RETURN(
       StreamRange sorted_b,
       SortRectsByYLo(b.range, scratch.get(), sorted.get(),
                      options.memory_bytes / 2, scope.get(),
-                     PrefetchContextOf(options)));
+                     PrefetchContextOf(options), SortConfigOf(options),
+                     &sort_stats));
   RTreePQSource source_a(&a);
   SortedStreamSource source_b(sorted_b);
   SJ_ASSIGN_OR_RETURN(RectF extent_b, EnsureExtent(b));
@@ -99,6 +101,7 @@ Result<JoinStats> PQJoinIndexStream(const RTree& a, const DatasetRef& b,
       PQJoinSources(&source_a, &source_b, extent, disk, options, sink,
                     scope.get()));
   stats.index_pages_read = source_a.pages_read();
+  stats.FoldSortStats(sort_stats);
   return stats;
 }
 

@@ -67,6 +67,8 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
   SJ_ASSIGN_OR_RETURN(RectF extent, CombinedExtent(a, b));
   StorageFactory* storage = options.storage.get();
   const PrefetchContext prefetch = PrefetchContextOf(options);
+  const SortConfig sort_config = SortConfigOf(options);
+  SortStats sort_stats;
 
   // Per-input scratch devices for runs and sorted output, mirroring the
   // paper's TPIE temporary streams.
@@ -88,24 +90,28 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
     {
       ExternalSorter<RectF, OrderByYLo> sorter_a(half, runs_a.get(),
                                                  OrderByYLo(), scope.get(),
-                                                 prefetch);
+                                                 prefetch, sort_config);
       ExternalSorter<RectF, OrderByYLo> sorter_b(half, runs_b.get(),
                                                  OrderByYLo(), scope.get(),
-                                                 prefetch);
+                                                 prefetch, sort_config);
       SJ_RETURN_IF_ERROR(sorter_a.FormRuns(a.range, &ra));
       SJ_RETURN_IF_ERROR(sorter_b.FormRuns(b.range, &rb));
       SJ_CHECK(ra.size() <= sorter_a.MaxFanIn() &&
                rb.size() <= sorter_b.MaxFanIn())
           << "fused SSSJ requires a single merge pass";
+      sort_stats.Fold(sorter_a.stats());
+      sort_stats.Fold(sorter_b.stats());
     }
     MemoryGrant sweep_grant = scope->AcquireShrinkable(
         grants::kSweep, est_sweep_bytes, /*floor_bytes=*/0);
     MergingReader<RectF, OrderByYLo> source_a(std::move(ra),
                                               /*block_pages=*/8, OrderByYLo(),
-                                              prefetch);
+                                              prefetch,
+                                              sort_config.merge_structure);
     MergingReader<RectF, OrderByYLo> source_b(std::move(rb),
                                               /*block_pages=*/8, OrderByYLo(),
-                                              prefetch);
+                                              prefetch,
+                                              sort_config.merge_structure);
     sweep_stats =
         SweepJoinWithKind(options.stream_sweep, extent, options.striped_strips,
                           source_a, source_b, emit);
@@ -118,11 +124,13 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
     SJ_ASSIGN_OR_RETURN(
         StreamRange sa,
         SortRectsByYLo(a.range, runs_a.get(), sorted_a.get(),
-                       options.memory_bytes / 2, scope.get(), prefetch));
+                       options.memory_bytes / 2, scope.get(), prefetch,
+                       sort_config, &sort_stats));
     SJ_ASSIGN_OR_RETURN(
         StreamRange sb,
         SortRectsByYLo(b.range, runs_b.get(), sorted_b.get(),
-                       options.memory_bytes / 2, scope.get(), prefetch));
+                       options.memory_bytes / 2, scope.get(), prefetch,
+                       sort_config, &sort_stats));
     MemoryGrant sweep_grant = scope->AcquireShrinkable(
         grants::kSweep, est_sweep_bytes, /*floor_bytes=*/0);
     StreamSource source_a(sa, prefetch), source_b(sb, prefetch);
@@ -136,6 +144,7 @@ Result<JoinStats> SSSJJoin(const DatasetRef& a, const DatasetRef& b,
   stats.output_count = sweep_stats.output_count;
   stats.max_sweep_bytes = sweep_stats.max_structure_bytes;
   stats.sweep_strips_collapsed = sweep_stats.strips_collapsed;
+  stats.FoldSortStats(sort_stats);
   FillMemoryStats(*scope, &stats);
   return stats;
 }
@@ -256,7 +265,13 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
     size_t max_sweep_bytes = 0;
     bool strips_collapsed = false;
     double cpu_seconds = 0;
+    SortStats sort_stats;
   };
+  // Strips are the parallel unit here: their internal sorts stay
+  // single-threaded (nested run-formation fan-out would only contend for
+  // the same workers), but the write-behind and fan-in knobs still apply.
+  SortConfig strip_sort_config = SortConfigOf(options);
+  strip_sort_config.threads = 1;
   // Inline runs (same condition as ParallelFor's) stream pairs straight
   // to the caller's sink in strip order; only pooled runs buffer.
   const bool pooled = options.num_threads > 1 && map.strips() > 1;
@@ -289,12 +304,12 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
             StreamRange sa,
             SortRectsByYLo(t.range_a, scratch.get(), sorted.get(),
                            options.memory_bytes / 2, t.memory.get(),
-                           prefetch));
+                           prefetch, strip_sort_config, &t.sort_stats));
         SJ_ASSIGN_OR_RETURN(
             StreamRange sb,
             SortRectsByYLo(t.range_b, scratch.get(), sorted.get(),
                            options.memory_bytes / 2, t.memory.get(),
-                           prefetch));
+                           prefetch, strip_sort_config, &t.sort_stats));
         MemoryGrant sweep_grant = t.memory->AcquireShrinkable(
             grants::kSweep,
             EstimateSweepBytes(t.range_a.count + t.range_b.count),
@@ -329,7 +344,9 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   bool stats_strips_collapsed = false;
   double worker_cpu = 0;
   DiskStats shard_disk;
+  SortStats folded_sort;
   for (const StripTask& t : tasks) {
+    folded_sort.Fold(t.sort_stats);
     if (pooled) {
       for (const IdPair& pair : t.sink.pairs()) sink->Emit(pair.a, pair.b);
     }
@@ -347,6 +364,7 @@ Result<JoinStats> SSSJStripJoin(const DatasetRef& a, const DatasetRef& b,
   stats.output_count = output;
   stats.max_sweep_bytes = max_sweep;
   stats.sweep_strips_collapsed = stats_strips_collapsed;
+  stats.FoldSortStats(folded_sort);
   stats.partitions_total = map.strips();
   FillMemoryStats(*scope, &stats);
   return stats;

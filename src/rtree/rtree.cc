@@ -163,7 +163,8 @@ Status RTree::BuildUpperLevels(Pager* pager, const RTreeParams& params,
 Result<RTree> RTree::BulkLoadHilbert(Pager* tree_pager,
                                      const StreamRange& input, Pager* scratch,
                                      const RTreeParams& params,
-                                     size_t memory_bytes) {
+                                     size_t memory_bytes,
+                                     const SortConfig& sort_config) {
   SJ_CHECK(params.max_entries >= 2 && params.max_entries <= kNodeCapacity)
       << "fanout out of range" << params.max_entries;
   if (input.count == 0) return CreateEmpty(tree_pager, params);
@@ -191,7 +192,9 @@ Result<RTree> RTree::BulkLoadHilbert(Pager* tree_pager,
   }
 
   // Sort by Hilbert key.
-  ExternalSorter<HilbertRect, HilbertLess> sorter(memory_bytes, scratch);
+  ExternalSorter<HilbertRect, HilbertLess> sorter(
+      memory_bytes, scratch, HilbertLess(), /*arbiter=*/nullptr,
+      PrefetchContext(), sort_config);
   SJ_ASSIGN_OR_RETURN(StreamRange sorted, sorter.Sort(keyed, scratch));
 
   // Pass 3: pack leaves in key order; leaves land on consecutive pages.
@@ -215,14 +218,17 @@ Result<RTree> RTree::BulkLoadHilbert(Pager* tree_pager,
 
 Result<RTree> RTree::BulkLoadSTR(Pager* tree_pager, const StreamRange& input,
                                  Pager* scratch, const RTreeParams& params,
-                                 size_t memory_bytes) {
+                                 size_t memory_bytes,
+                                 const SortConfig& sort_config) {
   SJ_CHECK(params.max_entries >= 2 && params.max_entries <= kNodeCapacity);
   if (input.count == 0) return CreateEmpty(tree_pager, params);
 
   SJ_ASSIGN_OR_RETURN(RectF extent, ComputeStreamExtent(input));
 
   // Sort everything by center x.
-  ExternalSorter<RectF, CenterXLess> sorter(memory_bytes, scratch);
+  ExternalSorter<RectF, CenterXLess> sorter(
+      memory_bytes, scratch, CenterXLess(), /*arbiter=*/nullptr,
+      PrefetchContext(), sort_config);
   SJ_ASSIGN_OR_RETURN(StreamRange by_x, sorter.Sort(input, scratch));
 
   const uint64_t leaf_cap = std::max<uint64_t>(

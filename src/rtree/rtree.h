@@ -62,18 +62,24 @@ class RTree {
  public:
   /// Bulk loads from an unsorted stream of rectangles. `scratch` holds the
   /// Hilbert-keyed runs during sorting; `memory_bytes` bounds the sorter.
+  /// `sort_config` carries the parallel-runs / write-behind / fan-in knobs
+  /// for the key sort (the built tree is identical either way).
   static Result<RTree> BulkLoadHilbert(Pager* tree_pager,
                                        const StreamRange& input,
                                        Pager* scratch,
                                        const RTreeParams& params,
-                                       size_t memory_bytes);
+                                       size_t memory_bytes,
+                                       const SortConfig& sort_config =
+                                           SortConfig());
 
   /// Sort-Tile-Recursive bulk load. Slabs are sorted in memory; each slab
   /// holds ~sqrt(#leaves) * fanout records, far below any realistic memory
   /// bound for the paper's data scales.
   static Result<RTree> BulkLoadSTR(Pager* tree_pager, const StreamRange& input,
                                    Pager* scratch, const RTreeParams& params,
-                                   size_t memory_bytes);
+                                   size_t memory_bytes,
+                                   const SortConfig& sort_config =
+                                       SortConfig());
 
   /// An empty dynamic tree (a single empty leaf as root).
   static Result<RTree> CreateEmpty(Pager* tree_pager,

@@ -46,6 +46,75 @@ struct RunLayout {
   /// Progress floor: a run of fewer records than this never pays off.
   static constexpr uint64_t kMinRunRecords = 64;
 
+  /// How one merge phase runs: the fan-in and the per-run read block it
+  /// supports under the budget. Produced by PlanMerge from the run count.
+  struct MergePlan {
+    /// Runs merged per group.
+    size_t fan_in = 2;
+    /// Pages per merge-reader block at that width (>= block_pages; grows
+    /// when a narrower fan-in leaves budget on the table).
+    uint32_t read_block_pages = 1;
+    /// Total passes over the data until one run remains.
+    uint32_t passes = 0;
+  };
+
+  /// Passes a fan-in-F merge needs to reduce `runs` runs to one.
+  static uint32_t MergePasses(uint64_t runs, size_t fan_in) {
+    uint32_t passes = 0;
+    while (runs > 1) {
+      runs = (runs + fan_in - 1) / fan_in;
+      passes++;
+    }
+    return passes;
+  }
+
+  /// Balances merge-pass count against per-run block size under the
+  /// budget. `requested_fan_in == 0` picks the *smallest* fan-in that
+  /// does not add a pass over merging at the maximum width — a narrower
+  /// merge reads the same pages in fewer, larger blocks (fewer random
+  /// positionings) and keeps fewer streams live; explicit requests are
+  /// clamped to [2, fan_in]. Whatever budget the chosen width leaves
+  /// (after one read block per run and one output write block) grows the
+  /// read block, never below the layout's floor.
+  ///
+  /// The plan depends only on the budget and the run count — never on
+  /// thread count, prefetch, or write-behind. That invariance IS the
+  /// determinism contract: enabling prefetch or write-behind must leave
+  /// the request pattern (and so modeled io_seconds) untouched, so their
+  /// doubled buffers ride on top of the planned blocks as bounded,
+  /// NoteUsage-reported overshoot (the same treatment as the PQ's extra
+  /// spill cursors) instead of reshaping the read blocks.
+  MergePlan PlanMerge(size_t runs, uint32_t requested_fan_in) const {
+    MergePlan plan;
+    plan.read_block_pages = block_pages;
+    const size_t max_fan = std::max<size_t>(2, fan_in);
+    if (runs <= 1) {
+      plan.fan_in = max_fan;
+      return plan;
+    }
+    if (requested_fan_in > 0) {
+      plan.fan_in = std::clamp<size_t>(requested_fan_in, 2, max_fan);
+    } else {
+      plan.fan_in = max_fan;
+      const uint32_t best = MergePasses(runs, max_fan);
+      for (size_t f = 2; f < max_fan; ++f) {
+        if (MergePasses(runs, f) == best) {
+          plan.fan_in = f;
+          break;
+        }
+      }
+    }
+    plan.passes = MergePasses(runs, plan.fan_in);
+    const size_t total_pages = memory_bytes / kPageSize;
+    const size_t reader_pages = total_pages > write_block_pages
+                                    ? total_pages - write_block_pages
+                                    : 0;
+    const size_t per_run = reader_pages / plan.fan_in;
+    plan.read_block_pages = static_cast<uint32_t>(std::clamp<size_t>(
+        per_run, block_pages, kStreamBlockPages));
+    return plan;
+  }
+
   static RunLayout For(size_t memory_bytes, size_t record_size) {
     RunLayout layout;
     layout.memory_bytes = std::max(memory_bytes, kMinSortMemoryBytes);

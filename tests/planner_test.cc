@@ -56,10 +56,12 @@ TEST(Planner, StreamStreamAlwaysSSSJ) {
   EXPECT_EQ(d.algorithm, JoinAlgorithm::kSSSJ);
   EXPECT_EQ(d.index_cost_seconds, 0.0);
   EXPECT_EQ(d.refine_cost_seconds, 0.0);
-  // Stream cost is exactly the cost model's streaming estimate.
+  // Stream cost is the cost model's streaming estimate plus the priced
+  // sort CPU (comparisons of forming and merging runs).
   const uint64_t pages = a.pages() + b.pages();
-  EXPECT_DOUBLE_EQ(d.stream_cost_seconds,
-                   joiner.cost_model().SSSJSeconds(pages));
+  EXPECT_GT(d.sort_cpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(d.stream_cost_seconds, joiner.cost_model().SSSJSeconds(
+                                              pages) + d.sort_cpu_seconds);
 }
 
 TEST(Planner, LocalizedJoinUsesTheIndex) {
